@@ -1,0 +1,25 @@
+"""Supporting benchmark: the manual-like baseline flow on the full circuits.
+
+Not a table or figure of its own, but the "Manual" column of Table 1 comes
+from this flow; timing it separately documents that the baseline itself is
+cheap (seconds), so the Table 1 runtimes are dominated — as in the paper —
+by the ILP solves.
+"""
+
+from _bench_utils import run_once
+
+from repro.baselines import AnnealingConfig, ManualLikeFlow
+from repro.circuits import get_circuit
+
+
+def test_baseline_manual_like_lna94_full(benchmark):
+    circuit = get_circuit("lna94", "full")
+    flow = ManualLikeFlow(AnnealingConfig(iterations=5000))
+    result = run_once(benchmark, flow.generate, circuit.netlist)
+    print()
+    print(result.summary())
+    assert result.layout.is_complete
+    # Sequential length matching costs many bends — the effect the paper's
+    # Table 1 quantifies (59 total bends for the real manual layout).
+    assert result.metrics.total_bend_count > 20
+    assert result.metrics.max_abs_length_error <= 5.0

@@ -1,0 +1,27 @@
+"""Supporting experiment (Section 2.2 / Figure 3): extracting δ by RF simulation.
+
+The paper obtains the equivalent-length compensation δ of a smoothed bend
+from RF simulation.  This benchmark runs the same extraction with the RF
+substrate across the two operating frequencies used in the paper and checks
+that the value is a small negative length of the order of the technology
+default used by the layout model.
+"""
+
+import numpy as np
+
+from repro.rf import MicrostripLine, delta_versus_frequency
+from repro.tech import CMOS90
+
+
+def test_delta_extraction(benchmark):
+    line = MicrostripLine.from_technology(CMOS90)
+    frequencies = np.array([60e9, 77e9, 94e9])
+
+    deltas = benchmark(delta_versus_frequency, line, frequencies)
+    print()
+    for frequency, delta in zip(frequencies, deltas):
+        print(f"  delta at {frequency/1e9:5.1f} GHz: {delta:6.2f} um")
+    assert np.all(deltas < 0.0)
+    assert np.all(deltas > -20.0)
+    # Weak frequency dependence: a single technology constant is a fair model.
+    assert np.ptp(deltas) < 5.0

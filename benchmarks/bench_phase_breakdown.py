@@ -1,0 +1,24 @@
+"""Supporting benchmark: per-phase runtime breakdown of the P-ILP flow.
+
+The paper reports only the end-to-end runtime per circuit; this benchmark
+additionally records how the time is spent across the three phases (the
+snapshot sequence of Figure 7), which is useful when tuning the per-phase
+time limits.
+"""
+
+from _bench_utils import bench_config, bench_variant, run_once
+
+from repro.circuits import get_circuit
+from repro.core import PILPLayoutGenerator
+from repro.experiments import format_text_table
+
+
+def test_pilp_phase_breakdown_buffer60(benchmark):
+    circuit = get_circuit("buffer60", bench_variant())
+    generator = PILPLayoutGenerator(bench_config())
+    result = run_once(benchmark, generator.generate, circuit.netlist)
+    print()
+    print(format_text_table(result.phase_table(), title="phase breakdown (buffer60)"))
+    assert result.layout.is_complete
+    assert [phase.phase for phase in result.phases][0] == "phase1"
+    assert any(phase.phase.startswith("phase3") for phase in result.phases)

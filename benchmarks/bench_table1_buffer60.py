@@ -1,0 +1,28 @@
+"""Table 1, rows "60 GHz Buffer": bend counts and runtime, manual vs P-ILP.
+
+Paper reference (full-size circuit): manual 4 max / 27 total bends in more
+than a week; P-ILP 3 max / 7 total bends in 4m22s at the same area and
+3 / 13 at the smaller 505x720 area.
+"""
+
+from _bench_utils import bench_config, bench_variant, run_once
+
+from repro.experiments import run_table1_circuit
+
+
+def test_table1_buffer60(benchmark):
+    result = run_once(
+        benchmark,
+        run_table1_circuit,
+        "buffer60",
+        variant=bench_variant(),
+        config=bench_config(),
+        include_manual=True,
+    )
+    print()
+    print(result.to_text())
+    assert len(result.rows) == 2
+    first_setting = result.rows[0]
+    assert first_setting.pilp_total_bends <= first_setting.manual_total_bends
+    # The stress (smaller) area still yields a complete layout.
+    assert result.rows[1].pilp_total_bends >= 0

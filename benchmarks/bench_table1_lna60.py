@@ -1,0 +1,26 @@
+"""Table 1, rows "60 GHz LNA": bend counts and runtime, manual vs P-ILP.
+
+Paper reference (full-size circuit): manual 4 max / 31 total bends in more
+than a week; P-ILP 2 max / 10 total bends in 6m17s at the same area and
+5 / 18 at the smaller 570x810 area.
+"""
+
+from _bench_utils import bench_config, bench_variant, run_once
+
+from repro.experiments import run_table1_circuit
+
+
+def test_table1_lna60(benchmark):
+    result = run_once(
+        benchmark,
+        run_table1_circuit,
+        "lna60",
+        variant=bench_variant(),
+        config=bench_config(),
+        include_manual=True,
+    )
+    print()
+    print(result.to_text())
+    assert len(result.rows) == 2
+    first_setting = result.rows[0]
+    assert first_setting.pilp_total_bends <= first_setting.manual_total_bends

@@ -1,0 +1,31 @@
+"""Table 1, rows "94 GHz LNA": bend counts and runtime, manual vs P-ILP.
+
+Paper reference (full-size circuit): manual 9 max / 59 total bends in more
+than two weeks; P-ILP 4 max / 22 total bends in 18m05s at the same area and
+5 / 29 at the smaller 845x580 area.  The benchmark reproduces the qualitative
+shape — P-ILP needs no more bends than the sequential baseline and finishes
+in minutes — on the reconstructed circuit (reduced by default).
+"""
+
+from _bench_utils import bench_config, bench_variant, run_once
+
+from repro.experiments import run_table1_circuit
+
+
+def test_table1_lna94(benchmark):
+    result = run_once(
+        benchmark,
+        run_table1_circuit,
+        "lna94",
+        variant=bench_variant(),
+        config=bench_config(),
+        include_manual=True,
+    )
+    print()
+    print(result.to_text())
+    assert len(result.rows) == 2
+    first_setting = result.rows[0]
+    assert first_setting.manual_total_bends is not None
+    # The paper's qualitative claim for this circuit.
+    assert first_setting.pilp_total_bends <= first_setting.manual_total_bends
+    assert first_setting.pilp_max_bends <= max(first_setting.manual_max_bends, 1)

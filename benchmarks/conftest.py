@@ -1,0 +1,21 @@
+"""Pytest fixtures for the benchmark harness (see ``_bench_utils``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import bench_config, bench_variant
+
+from repro.core import PILPConfig
+
+
+@pytest.fixture
+def pilp_config() -> PILPConfig:
+    """The MILP budget the benchmark flows run with."""
+    return bench_config()
+
+
+@pytest.fixture
+def variant() -> str:
+    """Circuit variant (``reduced`` by default, ``full`` with RFIC_FULL_SIZE)."""
+    return bench_variant()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Compare the P-ILP flow with the manual-like baseline on the 94 GHz LNA.
+
+This is the scenario behind Table 1 of the paper: the same circuit is laid
+out twice — once with the conventional place-then-route methodology (the
+"manual" stand-in) and once with the concurrent P-ILP flow — and the bend
+statistics, runtime and DRC status are put side by side.  By default the
+reduced reconstruction of the LNA is used so the script finishes in a few
+minutes; set ``RFIC_FULL_SIZE=1`` to run the published-size circuit.
+
+Run with::
+
+    python examples/lna94_flow_comparison.py
+"""
+
+from pathlib import Path
+
+from repro.baselines import ManualLikeFlow
+from repro.circuits import get_circuit
+from repro.core import PILPConfig, PILPLayoutGenerator
+from repro.experiments import format_text_table
+from repro.layout import compare_metrics, save_svg
+
+
+def main() -> None:
+    circuit = get_circuit("lna94")
+    netlist = circuit.netlist
+    print(f"circuit {netlist.name}: {netlist.num_microstrips} microstrips, "
+          f"{netlist.num_devices} devices, area {netlist.area.width:.0f} x "
+          f"{netlist.area.height:.0f} um")
+
+    manual = ManualLikeFlow().generate(netlist)
+    pilp = PILPLayoutGenerator(PILPConfig.fast()).generate(netlist)
+
+    rows = [manual.summary(), pilp.summary()]
+    print()
+    print(format_text_table(rows, title="Table-1 style comparison"))
+
+    comparison = compare_metrics(manual.metrics, pilp.metrics)
+    reduction = comparison["total_bend_reduction"]
+    if reduction is not None:
+        print(f"\nP-ILP removes {100.0 * reduction:.0f}% of the baseline's bends "
+              f"({comparison['baseline_total_bends']} -> "
+              f"{comparison['candidate_total_bends']}).")
+
+    output_dir = Path(__file__).resolve().parent
+    save_svg(manual.layout, output_dir / "lna94_manual_like.svg")
+    save_svg(pilp.layout, output_dir / "lna94_pilp.svg")
+    print(f"\nrenderings written to {output_dir}/lna94_*.svg")
+
+
+if __name__ == "__main__":
+    main()

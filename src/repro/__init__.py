@@ -1,0 +1,22 @@
+"""repro — reproduction of the DAC 2016 P-ILP RFIC layout generation paper.
+
+The package is organised as a set of substrates (ILP solving, geometry,
+circuit/netlist model, layout model, RF simulation) underneath the paper's
+core contribution, the progressive ILP-based layout generator in
+:mod:`repro.core`.
+
+High-level entry points
+-----------------------
+``repro.core.PILPLayoutGenerator``
+    The progressive flow of Section 5 (the paper's headline method).
+``repro.baselines.ManualLikeFlow``
+    The sequential place-then-route baseline standing in for manual layouts.
+``repro.circuits``
+    Reconstructions of the paper's three benchmark circuits.
+``repro.experiments``
+    Harnesses regenerating Table 1 and Figure 11.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,14 @@
+"""Baseline flows: the sequential place-then-route "manual-like" methodology."""
+
+from repro.baselines.annealing import AnnealingConfig, AnnealingPlacer
+from repro.baselines.greedy_router import GreedyRouter, GreedyRouterConfig
+from repro.baselines.manual_like import ManualLikeFlow, generate_manual_like_layout
+
+__all__ = [
+    "AnnealingPlacer",
+    "AnnealingConfig",
+    "GreedyRouter",
+    "GreedyRouterConfig",
+    "ManualLikeFlow",
+    "generate_manual_like_layout",
+]

@@ -1,0 +1,57 @@
+"""Circuit netlist model: devices, pads, microstrip nets and their I/O."""
+
+from repro.circuit.device import (
+    Device,
+    DeviceType,
+    Pin,
+    Rotation,
+    make_capacitor,
+    make_dc_pad,
+    make_inductor,
+    make_resistor,
+    make_rf_pad,
+    make_transistor,
+)
+from repro.circuit.microstrip_net import MicrostripNet, Terminal
+from repro.circuit.netlist import LayoutArea, Netlist
+from repro.circuit.loader import (
+    dumps_netlist,
+    load_netlist,
+    loads_netlist,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_netlist,
+)
+from repro.circuit.validate import (
+    Severity,
+    ValidationIssue,
+    assert_valid,
+    validate_netlist,
+)
+
+__all__ = [
+    "Device",
+    "DeviceType",
+    "Pin",
+    "Rotation",
+    "make_transistor",
+    "make_capacitor",
+    "make_inductor",
+    "make_resistor",
+    "make_rf_pad",
+    "make_dc_pad",
+    "MicrostripNet",
+    "Terminal",
+    "Netlist",
+    "LayoutArea",
+    "netlist_to_dict",
+    "netlist_from_dict",
+    "save_netlist",
+    "load_netlist",
+    "dumps_netlist",
+    "loads_netlist",
+    "validate_netlist",
+    "assert_valid",
+    "ValidationIssue",
+    "Severity",
+]

@@ -1,0 +1,39 @@
+"""Reconstructed benchmark circuits (the paper's three RF circuits)."""
+
+from repro.circuits.generator import (
+    AmplifierSpec,
+    BenchmarkCircuit,
+    build_amplifier_circuit,
+)
+from repro.circuits.lna94 import build_lna94, build_lna94_reduced, lna94_spec
+from repro.circuits.buffer60 import build_buffer60, build_buffer60_reduced, buffer60_spec
+from repro.circuits.lna60 import build_lna60, build_lna60_reduced, lna60_spec
+from repro.circuits.registry import (
+    FULL_SIZE_ENV,
+    area_settings,
+    circuit_names,
+    get_circuit,
+    pilp_area,
+    use_full_size,
+)
+
+__all__ = [
+    "AmplifierSpec",
+    "BenchmarkCircuit",
+    "build_amplifier_circuit",
+    "build_lna94",
+    "build_lna94_reduced",
+    "lna94_spec",
+    "build_buffer60",
+    "build_buffer60_reduced",
+    "buffer60_spec",
+    "build_lna60",
+    "build_lna60_reduced",
+    "lna60_spec",
+    "get_circuit",
+    "circuit_names",
+    "area_settings",
+    "pilp_area",
+    "use_full_size",
+    "FULL_SIZE_ENV",
+]

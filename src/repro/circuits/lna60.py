@@ -1,0 +1,55 @@
+"""Reconstruction of the paper's 60 GHz low-noise amplifier benchmark.
+
+Published statistics (Table 1): 19 microstrips, 28 devices, manual layout
+area 600 µm x 855 µm, second area setting 570 µm x 810 µm.  This circuit is
+only evaluated for layout quality in the paper (it does not appear in
+Figure 11).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import LayoutArea
+from repro.circuits.generator import AmplifierSpec, BenchmarkCircuit, build_amplifier_circuit
+from repro.tech.technology import Technology
+
+#: Layout area of the manual design (first area setting in Table 1).
+MANUAL_AREA = LayoutArea(600.0, 855.0)
+
+#: Smaller stress-test area (second area setting in Table 1).
+SMALL_AREA = LayoutArea(570.0, 810.0)
+
+
+def lna60_spec(area: LayoutArea = MANUAL_AREA) -> AmplifierSpec:
+    """Full-size specification matching the published counts."""
+    return AmplifierSpec(
+        name="lna60",
+        num_stages=3,
+        operating_frequency_ghz=60.0,
+        area=area,
+        num_microstrips=19,
+        num_devices=28,
+        stage_gm_ms=50.0,
+    )
+
+
+def build_lna60(
+    area: LayoutArea = MANUAL_AREA, technology: Technology | None = None
+) -> BenchmarkCircuit:
+    """Build the full-size 60 GHz LNA reconstruction."""
+    return build_amplifier_circuit(lna60_spec(area), technology)
+
+
+def build_lna60_reduced(
+    area: LayoutArea | None = None, technology: Technology | None = None
+) -> BenchmarkCircuit:
+    """A reduced 60 GHz LNA (1 stage, 6 microstrips, 8 devices)."""
+    spec = AmplifierSpec(
+        name="lna60_reduced",
+        num_stages=1,
+        operating_frequency_ghz=60.0,
+        area=area or LayoutArea(560.0, 640.0),
+        num_microstrips=6,
+        num_devices=8,
+        stage_gm_ms=50.0,
+    )
+    return build_amplifier_circuit(spec, technology)

@@ -1,0 +1,131 @@
+"""Registry of the reconstructed benchmark circuits.
+
+Keys follow the paper's circuit names; every circuit is available in a
+``full`` variant (published microstrip / device counts and areas) and a
+``reduced`` variant sized so the complete Table 1 harness runs quickly on a
+laptop.  The Table 1 experiment also needs each circuit's *second* (smaller,
+stress-test) area, which :func:`area_settings` provides.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ExperimentError
+from repro.circuit.netlist import LayoutArea
+from repro.circuits import buffer60, lna60, lna94
+from repro.circuits.generator import BenchmarkCircuit
+from repro.tech.technology import Technology
+
+#: Environment variable that switches the experiments to the full-size
+#: reconstructions (long solver runtimes).
+FULL_SIZE_ENV = "RFIC_FULL_SIZE"
+
+_BUILDERS: Dict[str, Dict[str, Callable[..., BenchmarkCircuit]]] = {
+    "lna94": {"full": lna94.build_lna94, "reduced": lna94.build_lna94_reduced},
+    "buffer60": {"full": buffer60.build_buffer60, "reduced": buffer60.build_buffer60_reduced},
+    "lna60": {"full": lna60.build_lna60, "reduced": lna60.build_lna60_reduced},
+}
+
+_AREAS: Dict[str, Dict[str, LayoutArea]] = {
+    "lna94": {
+        "manual": lna94.MANUAL_AREA,
+        "small": lna94.SMALL_AREA,
+        "pilp": lna94.PILP_AREA,
+    },
+    "buffer60": {
+        "manual": buffer60.MANUAL_AREA,
+        "small": buffer60.SMALL_AREA,
+        "pilp": buffer60.PILP_AREA,
+    },
+    "lna60": {"manual": lna60.MANUAL_AREA, "small": lna60.SMALL_AREA},
+}
+
+
+def circuit_names() -> List[str]:
+    """Names of the available benchmark circuits (Table 1 order)."""
+    return ["lna94", "buffer60", "lna60"]
+
+
+def use_full_size() -> bool:
+    """Whether the full-size reconstructions were requested via environment."""
+    return os.environ.get(FULL_SIZE_ENV, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def get_circuit(
+    name: str,
+    variant: Optional[str] = None,
+    area: Optional[LayoutArea] = None,
+    technology: Optional[Technology] = None,
+) -> BenchmarkCircuit:
+    """Build a benchmark circuit by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`circuit_names`.
+    variant:
+        ``"full"`` or ``"reduced"``; defaults to ``"full"`` when the
+        ``RFIC_FULL_SIZE`` environment variable is set and ``"reduced"``
+        otherwise.
+    area:
+        Optional layout-area override (used for the second area setting of
+        Table 1; only meaningful for the ``full`` variant).
+    """
+    try:
+        builders = _BUILDERS[name]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown benchmark circuit {name!r}; available: {circuit_names()}"
+        ) from exc
+    if variant is None:
+        variant = "full" if use_full_size() else "reduced"
+    if variant not in builders:
+        raise ExperimentError(
+            f"unknown variant {variant!r} for circuit {name!r}; use 'full' or 'reduced'"
+        )
+    builder = builders[variant]
+    if area is not None and variant == "full":
+        return builder(area=area, technology=technology)
+    if area is not None:
+        return builder(area=area, technology=technology)
+    return builder(technology=technology)
+
+
+def area_settings(name: str, variant: Optional[str] = None) -> List[LayoutArea]:
+    """The two area settings of Table 1 for a circuit.
+
+    For the reduced variants the second setting is derived by shrinking the
+    reduced circuit's own area by the same ratio the paper applied to the
+    full circuit.
+    """
+    if name not in _AREAS:
+        raise ExperimentError(
+            f"unknown benchmark circuit {name!r}; available: {circuit_names()}"
+        )
+    if variant is None:
+        variant = "full" if use_full_size() else "reduced"
+    manual = _AREAS[name]["manual"]
+    small = _AREAS[name]["small"]
+    if variant == "full":
+        return [manual, small]
+    reduced_default = get_circuit(name, "reduced").netlist.area
+    ratio = (small.width * small.height) / (manual.width * manual.height)
+    scale = ratio**0.5
+    return [reduced_default, reduced_default.scaled(scale)]
+
+
+def pilp_area(name: str, variant: Optional[str] = None) -> LayoutArea:
+    """The area the paper's generated (P-ILP) layout used for Figure 11."""
+    if name not in _AREAS:
+        raise ExperimentError(f"unknown benchmark circuit {name!r}")
+    if variant is None:
+        variant = "full" if use_full_size() else "reduced"
+    full_pilp = _AREAS[name].get("pilp", _AREAS[name]["manual"])
+    if variant == "full":
+        return full_pilp
+    manual = _AREAS[name]["manual"]
+    reduced_default = get_circuit(name, "reduced").netlist.area
+    ratio = (full_pilp.width * full_pilp.height) / (manual.width * manual.height)
+    return reduced_default.scaled(ratio**0.5)

@@ -1,0 +1,177 @@
+"""Command-line interface: ``rfic-layout`` (or ``python -m repro.cli``).
+
+Sub-commands
+------------
+``generate``
+    Run the P-ILP flow (or the exact / manual-like flow) on a netlist JSON
+    file and write the resulting layout (JSON + SVG).
+``table1``
+    Regenerate (part of) the paper's Table 1 and print it.
+``figure11``
+    Regenerate (part of) the paper's Figure 11 and print the gain summary.
+``circuits``
+    List the reconstructed benchmark circuits and their statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro import __version__
+from repro.circuit.loader import load_netlist
+from repro.circuits import circuit_names, get_circuit
+from repro.core.config import PhaseSettings, PILPConfig
+from repro.core.exact import ExactLayoutGenerator
+from repro.core.pilp import PILPLayoutGenerator
+from repro.baselines.manual_like import ManualLikeFlow
+from repro.experiments.figure11 import FIGURE11_CIRCUITS, run_figure11
+from repro.experiments.report import format_text_table, save_json
+from repro.experiments.table1 import run_table1
+from repro.layout.export_json import save_layout
+from repro.layout.export_svg import save_svg
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="rfic-layout",
+        description="RFIC layout generation with concurrent placement and "
+        "fixed-length microstrip routing (DAC 2016 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="run a layout flow on a netlist JSON")
+    generate.add_argument("netlist", help="path to a netlist JSON file, or a benchmark circuit name")
+    generate.add_argument(
+        "--flow", choices=("pilp", "exact", "manual"), default="pilp",
+        help="which flow to run (default: pilp)",
+    )
+    generate.add_argument("--output", "-o", default="layout.json", help="output layout JSON path")
+    generate.add_argument("--svg", default=None, help="optional SVG output path")
+    generate.add_argument("--time-limit", type=float, default=None, help="per-phase solver time limit (s)")
+    generate.add_argument("--fast", action="store_true", help="use the fast (unit-test sized) configuration")
+
+    table1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.add_argument("--circuit", choices=circuit_names(), default=None, help="restrict to one circuit")
+    table1.add_argument("--variant", choices=("full", "reduced"), default=None)
+    table1.add_argument("--no-manual", action="store_true", help="skip the manual-like baseline")
+    table1.add_argument("--fast", action="store_true", help="use the fast configuration")
+    table1.add_argument("--json", default=None, help="write the rows to this JSON file")
+
+    figure11 = subparsers.add_parser("figure11", help="regenerate the paper's Figure 11")
+    figure11.add_argument("--circuit", choices=list(FIGURE11_CIRCUITS), default=None)
+    figure11.add_argument("--variant", choices=("full", "reduced"), default=None)
+    figure11.add_argument("--fast", action="store_true", help="use the fast configuration")
+    figure11.add_argument("--json", default=None, help="write the series to this JSON file")
+
+    circuits = subparsers.add_parser("circuits", help="list the benchmark circuits")
+    circuits.add_argument("--variant", choices=("full", "reduced"), default=None)
+
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> PILPConfig:
+    config = PILPConfig.fast() if getattr(args, "fast", False) else PILPConfig()
+    time_limit = getattr(args, "time_limit", None)
+    if time_limit is not None:
+        config = config.with_updates(
+            phase1=PhaseSettings(time_limit=time_limit),
+            phase2=PhaseSettings(time_limit=time_limit),
+            phase3=PhaseSettings(time_limit=time_limit),
+            exact=PhaseSettings(time_limit=time_limit),
+        )
+    return config
+
+
+def _load_netlist_argument(argument: str):
+    path = Path(argument)
+    if path.exists():
+        return load_netlist(path)
+    if argument in circuit_names():
+        return get_circuit(argument).netlist
+    raise SystemExit(
+        f"error: {argument!r} is neither an existing netlist file nor one of the "
+        f"benchmark circuits {circuit_names()}"
+    )
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    netlist = _load_netlist_argument(args.netlist)
+    config = _config_from_args(args)
+    if args.flow == "pilp":
+        result = PILPLayoutGenerator(config).generate(netlist)
+    elif args.flow == "exact":
+        result = ExactLayoutGenerator(config).generate(netlist)
+    else:
+        result = ManualLikeFlow().generate(netlist)
+
+    output = save_layout(result.layout, args.output)
+    print(format_text_table([result.summary()], title=f"{args.flow} flow result"))
+    print(f"layout written to {output}")
+    if args.svg:
+        svg_path = save_svg(result.layout, args.svg)
+        print(f"SVG written to {svg_path}")
+    return 0
+
+
+def _command_table1(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    circuits = [args.circuit] if args.circuit else None
+    result = run_table1(
+        circuits=circuits,
+        variant=args.variant,
+        config=config,
+        include_manual=not args.no_manual,
+    )
+    print(result.to_text())
+    print()
+    print(f"paper's qualitative shape holds: {result.shape_holds()}")
+    if args.json:
+        save_json(result.as_dicts(), args.json)
+        print(f"rows written to {args.json}")
+    return 0
+
+
+def _command_figure11(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    circuits = [args.circuit] if args.circuit else None
+    results = run_figure11(circuits=circuits, variant=args.variant, config=config)
+    for result in results:
+        print(result.to_text())
+        print(f"shape holds (p-ilp gain >= manual gain): {result.shape_holds()}")
+        print()
+    if args.json:
+        save_json([result.series_dict() for result in results], args.json)
+        print(f"series written to {args.json}")
+    return 0
+
+
+def _command_circuits(args: argparse.Namespace) -> int:
+    rows = []
+    for name in circuit_names():
+        circuit = get_circuit(name, args.variant)
+        rows.append(circuit.summary())
+    print(format_text_table(rows, title="Reconstructed benchmark circuits"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``rfic-layout`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "table1": _command_table1,
+        "figure11": _command_figure11,
+        "circuits": _command_circuits,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

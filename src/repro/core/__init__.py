@@ -1,0 +1,66 @@
+"""The paper's core contribution: concurrent placement + fixed-length routing.
+
+``ExactLayoutGenerator`` solves the complete Section-4 ILP in one shot;
+``PILPLayoutGenerator`` runs the three-phase progressive flow of Section 5.
+Both return a :class:`~repro.core.result.FlowResult` containing the final
+layout, its metrics, a DRC report and per-phase diagnostics.
+"""
+
+from repro.core.config import ObjectiveWeights, PhaseSettings, PILPConfig
+from repro.core.model_builder import (
+    BuildOptions,
+    BuildResult,
+    DeviceVars,
+    NetVars,
+    RficModelBuilder,
+    SegmentVars,
+)
+from repro.core.result import FlowResult, PhaseResult
+from repro.core.exact import ExactLayoutGenerator, generate_exact_layout
+from repro.core.phase1 import run_phase1
+from repro.core.phase2 import run_phase2
+from repro.core.phase3 import (
+    RefinementPlan,
+    plan_refinement,
+    run_phase3,
+    run_phase3_iteration,
+)
+from repro.core.pilp import PILPLayoutGenerator, generate_pilp_layout
+from repro.core.windows import (
+    chain_point_counts,
+    chain_positions_from_layout,
+    chain_windows_from_positions,
+    device_windows_from_layout,
+    mean_device_extent,
+    window_around,
+)
+
+__all__ = [
+    "PILPConfig",
+    "ObjectiveWeights",
+    "PhaseSettings",
+    "RficModelBuilder",
+    "BuildOptions",
+    "BuildResult",
+    "DeviceVars",
+    "NetVars",
+    "SegmentVars",
+    "FlowResult",
+    "PhaseResult",
+    "ExactLayoutGenerator",
+    "generate_exact_layout",
+    "PILPLayoutGenerator",
+    "generate_pilp_layout",
+    "run_phase1",
+    "run_phase2",
+    "run_phase3",
+    "run_phase3_iteration",
+    "plan_refinement",
+    "RefinementPlan",
+    "window_around",
+    "device_windows_from_layout",
+    "chain_positions_from_layout",
+    "chain_windows_from_positions",
+    "chain_point_counts",
+    "mean_device_extent",
+]

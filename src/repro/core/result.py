@@ -1,0 +1,129 @@
+"""Result objects produced by the exact and progressive flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ilp.solution import Solution
+from repro.layout.drc import DRCReport
+from repro.layout.layout import Layout
+from repro.layout.metrics import LayoutMetrics
+
+
+@dataclass
+class PhaseResult:
+    """Outcome of a single optimisation phase (or refinement iteration).
+
+    Attributes
+    ----------
+    phase:
+        Identifier such as ``"phase1"``, ``"phase2"``, ``"phase3[2]"`` or
+        ``"exact"``.
+    layout:
+        Layout snapshot extracted from the phase's solution.
+    solution:
+        Raw solver outcome.
+    runtime:
+        Wall-clock seconds spent building and solving the phase model.
+    length_errors:
+        Signed equivalent-length error per net (against the phase's targets).
+    bend_counts:
+        Bend count per net.
+    total_overlap:
+        Sum of residual overlap slack (zero when overlap was forbidden).
+    model_statistics:
+        Variable / constraint counts of the phase model.
+    """
+
+    phase: str
+    layout: Layout
+    solution: Solution
+    runtime: float
+    length_errors: Dict[str, float] = field(default_factory=dict)
+    bend_counts: Dict[str, int] = field(default_factory=dict)
+    total_overlap: float = 0.0
+    model_statistics: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def max_abs_length_error(self) -> float:
+        if not self.length_errors:
+            return 0.0
+        return max(abs(error) for error in self.length_errors.values())
+
+    @property
+    def total_bends(self) -> int:
+        return sum(self.bend_counts.values())
+
+    @property
+    def max_bends(self) -> int:
+        return max(self.bend_counts.values()) if self.bend_counts else 0
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary for logs and reports."""
+        return {
+            "phase": self.phase,
+            "status": self.solution.status.value,
+            "objective": round(self.solution.objective, 4)
+            if self.solution.is_feasible
+            else None,
+            "runtime_s": round(self.runtime, 2),
+            "total_bends": self.total_bends,
+            "max_bends": self.max_bends,
+            "max_abs_length_error_um": round(self.max_abs_length_error, 3),
+            "total_overlap_um": round(self.total_overlap, 3),
+        }
+
+
+@dataclass
+class FlowResult:
+    """Final outcome of a layout-generation flow (exact, P-ILP or baseline).
+
+    Attributes
+    ----------
+    flow:
+        Flow identifier (``"p-ilp"``, ``"exact-ilp"``, ``"manual-like"``).
+    circuit:
+        Netlist name.
+    layout:
+        The final layout.
+    metrics:
+        Bend / length metrics of the final layout.
+    drc:
+        Design-rule report of the final layout.
+    runtime:
+        Total wall-clock seconds.
+    phases:
+        Per-phase results in execution order (empty for single-shot flows).
+    """
+
+    flow: str
+    circuit: str
+    layout: Layout
+    metrics: LayoutMetrics
+    drc: DRCReport
+    runtime: float
+    phases: List[PhaseResult] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the final layout passes DRC."""
+        return self.drc.is_clean
+
+    def summary(self) -> Dict[str, object]:
+        """The Table-1 style row for this flow run."""
+        return {
+            "flow": self.flow,
+            "circuit": self.circuit,
+            "area": self.metrics.area_label,
+            "max_bends": self.metrics.max_bend_count,
+            "total_bends": self.metrics.total_bend_count,
+            "runtime_s": round(self.runtime, 2),
+            "drc_clean": self.is_clean,
+            "drc_violations": self.drc.count(),
+            "max_abs_length_error_um": round(self.metrics.max_abs_length_error, 3),
+        }
+
+    def phase_table(self) -> List[Dict[str, object]]:
+        """Per-phase summaries (for the progressive flow's progress report)."""
+        return [phase.summary() for phase in self.phases]

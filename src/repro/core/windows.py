@@ -1,0 +1,65 @@
+"""Confinement-window helpers shared by Phases 2 and 3.
+
+Section 5.2 of the paper: once the routing topology is fixed by Phase 1,
+chain points and devices are only allowed to move within a window of size
+τ_d centred on their current coordinates.  These helpers derive such windows
+from a layout snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.circuit.netlist import Netlist
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.layout.layout import Layout
+
+
+def window_around(point: Point, tau: float) -> Rect:
+    """Square window of half-size ``tau`` centred on a point."""
+    return Rect(point.x - tau, point.y - tau, point.x + tau, point.y + tau)
+
+
+def device_windows_from_layout(layout: Layout, tau: float) -> Dict[str, Rect]:
+    """τ_d windows around every placed device centre."""
+    windows: Dict[str, Rect] = {}
+    for placement in layout.placements:
+        windows[placement.device_name] = window_around(placement.center, tau)
+    return windows
+
+
+def chain_positions_from_layout(layout: Layout) -> Dict[str, List[Point]]:
+    """Current chain-point coordinates of every routed net."""
+    return {route.net_name: list(route.path.points) for route in layout.routes}
+
+
+def chain_windows_from_positions(
+    positions: Mapping[str, List[Point]], tau: float
+) -> Dict[Tuple[str, int], Rect]:
+    """τ_d windows around given chain-point positions."""
+    windows: Dict[Tuple[str, int], Rect] = {}
+    for net_name, points in positions.items():
+        for index, point in enumerate(points):
+            windows[(net_name, index)] = window_around(point, tau)
+    return windows
+
+
+def chain_point_counts(positions: Mapping[str, List[Point]]) -> Dict[str, int]:
+    """Number of chain points per net implied by a set of positions."""
+    return {net_name: len(points) for net_name, points in positions.items()}
+
+
+def mean_device_extent(netlist: Netlist, include_pads: bool = False) -> float:
+    """Average of ``(width + height) / 2`` over the netlist's devices.
+
+    Used to size the Phase-1 space reservation (Figure 8): segments are
+    expanded by a fraction of the typical device extent so that, once devices
+    are visualised again in Phase 2, there is room to slot them in.
+    """
+    devices = netlist.devices if include_pads else netlist.non_pads()
+    if not devices:
+        devices = netlist.devices
+    if not devices:
+        return 0.0
+    return sum((device.width + device.height) / 2.0 for device in devices) / len(devices)

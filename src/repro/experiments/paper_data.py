@@ -1,0 +1,67 @@
+"""The numbers the paper itself reports, for side-by-side comparison.
+
+Keeping the published values in one place lets the experiment harnesses and
+EXPERIMENTS.md print "paper vs. reproduced" tables without scattering magic
+numbers around the code base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PaperTable1Entry:
+    """One row of the paper's Table 1."""
+
+    circuit: str
+    area: Tuple[float, float]
+    manual_max_bends: Optional[int]
+    pilp_max_bends: int
+    manual_total_bends: Optional[int]
+    pilp_total_bends: int
+    manual_runtime: Optional[str]
+    pilp_runtime: str
+
+
+#: Table 1 of the paper, keyed by ``(circuit, area_setting_index)`` where
+#: setting 0 is the manual-design area and setting 1 the smaller stress area.
+PAPER_TABLE1: Dict[Tuple[str, int], PaperTable1Entry] = {
+    ("lna94", 0): PaperTable1Entry(
+        "lna94", (890.0, 615.0), 9, 4, 59, 22, "> 2 weeks", "18m05s"
+    ),
+    ("lna94", 1): PaperTable1Entry(
+        "lna94", (845.0, 580.0), None, 5, None, 29, None, "28m13s"
+    ),
+    ("buffer60", 0): PaperTable1Entry(
+        "buffer60", (595.0, 850.0), 4, 3, 27, 7, "> 1 week", "04m22s"
+    ),
+    ("buffer60", 1): PaperTable1Entry(
+        "buffer60", (505.0, 720.0), None, 3, None, 13, None, "19m20s"
+    ),
+    ("lna60", 0): PaperTable1Entry(
+        "lna60", (600.0, 855.0), 4, 2, 31, 10, "> 1 week", "06m17s"
+    ),
+    ("lna60", 1): PaperTable1Entry(
+        "lna60", (570.0, 810.0), None, 5, None, 18, None, "07m12s"
+    ),
+}
+
+#: Published microstrip / device counts (Table 1, leftmost columns).
+PAPER_CIRCUIT_SIZES: Dict[str, Tuple[int, int]] = {
+    "lna94": (25, 34),
+    "buffer60": (14, 26),
+    "lna60": (19, 28),
+}
+
+#: Figure 11 gain values at the operating frequency, in dB.
+PAPER_FIGURE11_GAIN: Dict[str, Dict[str, float]] = {
+    "lna94": {"manual": 17.196, "pilp": 17.912, "frequency_ghz": 94.0},
+    "buffer60": {"manual": 16.791, "pilp": 16.998, "frequency_ghz": 60.0},
+}
+
+
+def paper_table1_entry(circuit: str, setting: int) -> Optional[PaperTable1Entry]:
+    """Look up a published Table 1 row (None for unknown combinations)."""
+    return PAPER_TABLE1.get((circuit, setting))

@@ -1,0 +1,172 @@
+"""Regeneration of Table 1: bend counts and runtimes, manual vs P-ILP.
+
+For every benchmark circuit and every area setting the harness
+
+1. runs the manual-like baseline (first area setting only — the paper has no
+   manual layout for the smaller stress areas either),
+2. runs the P-ILP flow,
+3. collects maximum / total bend counts and runtimes,
+4. attaches the paper's published values for side-by-side comparison.
+
+Absolute bend counts depend on the reconstructed netlists and the chosen
+solver budgets; the quantity the reproduction checks is the *relationship*
+the paper reports: the P-ILP layouts use substantially fewer (max and total)
+bends than the sequential baseline at the same area, and still produce valid
+layouts at the smaller stress areas, in minutes instead of weeks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuit.netlist import LayoutArea
+from repro.circuits import area_settings, circuit_names, get_circuit
+from repro.core.config import PILPConfig
+from repro.core.pilp import PILPLayoutGenerator
+from repro.core.result import FlowResult
+from repro.baselines.manual_like import ManualLikeFlow
+from repro.experiments.paper_data import paper_table1_entry
+from repro.experiments.report import format_runtime, format_text_table
+
+
+@dataclass
+class Table1Row:
+    """One (circuit, area setting) row of the regenerated Table 1."""
+
+    circuit: str
+    area_setting: int
+    area_label: str
+    num_microstrips: int
+    num_devices: int
+    manual_max_bends: Optional[int]
+    manual_total_bends: Optional[int]
+    manual_runtime_s: Optional[float]
+    pilp_max_bends: int
+    pilp_total_bends: int
+    pilp_runtime_s: float
+    pilp_drc_clean: bool
+    paper_manual_max_bends: Optional[int] = None
+    paper_manual_total_bends: Optional[int] = None
+    paper_pilp_max_bends: Optional[int] = None
+    paper_pilp_total_bends: Optional[int] = None
+    paper_pilp_runtime: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "circuit": self.circuit,
+            "area": self.area_label,
+            "#ms": self.num_microstrips,
+            "#dev": self.num_devices,
+            "manual_max_bends": self.manual_max_bends,
+            "pilp_max_bends": self.pilp_max_bends,
+            "manual_total_bends": self.manual_total_bends,
+            "pilp_total_bends": self.pilp_total_bends,
+            "manual_runtime": format_runtime(self.manual_runtime_s)
+            if self.manual_runtime_s is not None
+            else None,
+            "pilp_runtime": format_runtime(self.pilp_runtime_s),
+            "pilp_drc_clean": self.pilp_drc_clean,
+            "paper_pilp_max_bends": self.paper_pilp_max_bends,
+            "paper_pilp_total_bends": self.paper_pilp_total_bends,
+        }
+
+
+@dataclass
+class Table1Result:
+    """The complete regenerated table plus the raw flow results."""
+
+    rows: List[Table1Row] = field(default_factory=list)
+    flow_results: Dict[str, FlowResult] = field(default_factory=dict)
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [row.as_dict() for row in self.rows]
+
+    def to_text(self) -> str:
+        return format_text_table(
+            self.as_dicts(),
+            title="Table 1 — bend counts and runtime, manual-like baseline vs P-ILP",
+        )
+
+    def shape_holds(self) -> bool:
+        """The paper's qualitative claim: P-ILP needs no more bends than manual."""
+        for row in self.rows:
+            if row.manual_total_bends is None:
+                continue
+            if row.pilp_total_bends > row.manual_total_bends:
+                return False
+            if (
+                row.manual_max_bends is not None
+                and row.pilp_max_bends > row.manual_max_bends
+            ):
+                return False
+        return True
+
+
+def run_table1_circuit(
+    circuit_name: str,
+    variant: Optional[str] = None,
+    config: Optional[PILPConfig] = None,
+    include_manual: bool = True,
+    areas: Optional[Sequence[LayoutArea]] = None,
+) -> Table1Result:
+    """Regenerate the Table 1 rows of one circuit (both area settings)."""
+    config = config or PILPConfig()
+    result = Table1Result()
+    settings = list(areas) if areas is not None else area_settings(circuit_name, variant)
+
+    for setting_index, area in enumerate(settings):
+        circuit = get_circuit(circuit_name, variant, area=area)
+        netlist = circuit.netlist
+
+        manual_result: Optional[FlowResult] = None
+        if include_manual and setting_index == 0:
+            manual_result = ManualLikeFlow().generate(netlist)
+            result.flow_results[f"{circuit_name}[{setting_index}].manual"] = manual_result
+
+        pilp_result = PILPLayoutGenerator(config).generate(netlist)
+        result.flow_results[f"{circuit_name}[{setting_index}].pilp"] = pilp_result
+
+        paper = paper_table1_entry(circuit_name, setting_index)
+        result.rows.append(
+            Table1Row(
+                circuit=netlist.name,
+                area_setting=setting_index,
+                area_label=f"{area.width:.0f}x{area.height:.0f}",
+                num_microstrips=netlist.num_microstrips,
+                num_devices=netlist.num_devices,
+                manual_max_bends=(
+                    manual_result.metrics.max_bend_count if manual_result else None
+                ),
+                manual_total_bends=(
+                    manual_result.metrics.total_bend_count if manual_result else None
+                ),
+                manual_runtime_s=manual_result.runtime if manual_result else None,
+                pilp_max_bends=pilp_result.metrics.max_bend_count,
+                pilp_total_bends=pilp_result.metrics.total_bend_count,
+                pilp_runtime_s=pilp_result.runtime,
+                pilp_drc_clean=pilp_result.is_clean,
+                paper_manual_max_bends=paper.manual_max_bends if paper else None,
+                paper_manual_total_bends=paper.manual_total_bends if paper else None,
+                paper_pilp_max_bends=paper.pilp_max_bends if paper else None,
+                paper_pilp_total_bends=paper.pilp_total_bends if paper else None,
+                paper_pilp_runtime=paper.pilp_runtime if paper else None,
+            )
+        )
+    return result
+
+
+def run_table1(
+    circuits: Optional[Sequence[str]] = None,
+    variant: Optional[str] = None,
+    config: Optional[PILPConfig] = None,
+    include_manual: bool = True,
+) -> Table1Result:
+    """Regenerate the full Table 1 (all circuits, both area settings)."""
+    combined = Table1Result()
+    for circuit_name in circuits or circuit_names():
+        partial = run_table1_circuit(circuit_name, variant, config, include_manual)
+        combined.rows.extend(partial.rows)
+        combined.flow_results.update(partial.flow_results)
+    return combined

@@ -1,0 +1,33 @@
+"""Planar geometry primitives used by the layout and routing code."""
+
+from repro.geometry.point import GEOM_TOL, Point, collinear_axis, midpoint
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+from repro.geometry.path import ManhattanPath, serpentine_path
+from repro.geometry.overlap import (
+    OverlapReport,
+    all_inside,
+    find_overlaps,
+    overlap_extents,
+    packing_density,
+    spacing_violations,
+    total_overlap_area,
+)
+
+__all__ = [
+    "GEOM_TOL",
+    "Point",
+    "midpoint",
+    "collinear_axis",
+    "Rect",
+    "Segment",
+    "ManhattanPath",
+    "serpentine_path",
+    "OverlapReport",
+    "overlap_extents",
+    "find_overlaps",
+    "total_overlap_area",
+    "spacing_violations",
+    "all_inside",
+    "packing_density",
+]

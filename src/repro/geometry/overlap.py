@@ -1,0 +1,113 @@
+"""Pairwise overlap and spacing analysis for collections of rectangles.
+
+These helpers back the design-rule checker and the overlap-penalty terms of
+the Phase-1 model: given a set of labelled rectangles they report which pairs
+overlap, by how much, and whether the required spacing is met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.geometry.point import GEOM_TOL
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class OverlapReport:
+    """Overlap between two labelled rectangles.
+
+    Attributes
+    ----------
+    first, second:
+        Labels of the two rectangles (e.g. device or segment identifiers).
+    overlap_x, overlap_y:
+        Overlap extents along x and y; both are positive for a real overlap.
+    area:
+        Overlap area (``overlap_x * overlap_y``).
+    """
+
+    first: str
+    second: str
+    overlap_x: float
+    overlap_y: float
+
+    @property
+    def area(self) -> float:
+        return self.overlap_x * self.overlap_y
+
+
+def overlap_extents(a: Rect, b: Rect) -> Tuple[float, float]:
+    """Return the (x, y) overlap extents of two rectangles (clipped at 0)."""
+    overlap_x = min(a.xr, b.xr) - max(a.xl, b.xl)
+    overlap_y = min(a.yu, b.yu) - max(a.yl, b.yl)
+    return max(0.0, overlap_x), max(0.0, overlap_y)
+
+
+def find_overlaps(
+    rects: Dict[str, Rect],
+    tolerance: float = GEOM_TOL,
+    ignore_pairs: Iterable[Tuple[str, str]] = (),
+) -> List[OverlapReport]:
+    """Report every genuinely overlapping pair of labelled rectangles.
+
+    ``ignore_pairs`` lists label pairs (in either order) that are allowed to
+    overlap — e.g. a microstrip segment and the device pin it connects to.
+    """
+    ignored = {frozenset(pair) for pair in ignore_pairs}
+    reports: List[OverlapReport] = []
+    for (label_a, rect_a), (label_b, rect_b) in combinations(sorted(rects.items()), 2):
+        if frozenset((label_a, label_b)) in ignored:
+            continue
+        overlap_x, overlap_y = overlap_extents(rect_a, rect_b)
+        if overlap_x > tolerance and overlap_y > tolerance:
+            reports.append(OverlapReport(label_a, label_b, overlap_x, overlap_y))
+    return reports
+
+
+def total_overlap_area(rects: Dict[str, Rect], tolerance: float = GEOM_TOL) -> float:
+    """Sum of pairwise overlap areas — the quantity penalised in Phase 1."""
+    return sum(report.area for report in find_overlaps(rects, tolerance))
+
+
+def spacing_violations(
+    rects: Dict[str, Rect],
+    required_spacing: float,
+    tolerance: float = GEOM_TOL,
+    ignore_pairs: Iterable[Tuple[str, str]] = (),
+) -> List[Tuple[str, str, float]]:
+    """Return pairs of labelled rectangles closer than ``required_spacing``.
+
+    The rectangles here are the raw outlines; the required spacing is the
+    paper's ``2t`` coupling distance.  Each violation is reported as
+    ``(label_a, label_b, actual_separation)``.
+    """
+    ignored = {frozenset(pair) for pair in ignore_pairs}
+    violations: List[Tuple[str, str, float]] = []
+    for (label_a, rect_a), (label_b, rect_b) in combinations(sorted(rects.items()), 2):
+        if frozenset((label_a, label_b)) in ignored:
+            continue
+        separation = rect_a.separation(rect_b)
+        if separation < required_spacing - tolerance:
+            violations.append((label_a, label_b, separation))
+    return violations
+
+
+def all_inside(
+    rects: Sequence[Rect], boundary: Rect, tolerance: float = GEOM_TOL
+) -> bool:
+    """True when every rectangle lies inside the boundary rectangle."""
+    return all(boundary.contains_rect(rect, tolerance) for rect in rects)
+
+
+def packing_density(rects: Sequence[Rect], boundary: Rect) -> float:
+    """Fraction of the boundary area covered by the union-free sum of rects.
+
+    Overlaps are not deduplicated; the value is intended as a coarse layout
+    density indicator for reports, not an exact union area.
+    """
+    if boundary.area <= 0:
+        return 0.0
+    return sum(rect.area for rect in rects) / boundary.area

@@ -1,0 +1,68 @@
+"""Mixed integer linear programming modelling layer.
+
+This subpackage is the solver substrate that replaces Gurobi in the paper's
+flow.  It provides a small modelling language (:class:`Model`,
+:class:`Variable`, :class:`LinExpr`, :class:`Constraint`), the standard
+linearisation tricks the paper relies on (:mod:`repro.ilp.linearize`) and two
+interchangeable backends (HiGHS via SciPy, and a pure-Python
+branch-and-bound).
+
+Quick example
+-------------
+>>> from repro.ilp import Model
+>>> m = Model()
+>>> x = m.add_continuous("x", lb=0, ub=4)
+>>> y = m.add_binary("y")
+>>> _ = m.add_constraint(x + 3 * y <= 5)
+>>> m.set_objective(2 * x + y, sense="max")
+>>> sol = m.solve()
+>>> sol.status.value
+'optimal'
+"""
+
+from repro.ilp.expr import (
+    Constraint,
+    LinExpr,
+    Sense,
+    Variable,
+    VarType,
+    quicksum,
+)
+from repro.ilp.linearize import (
+    absolute_value,
+    at_most_one,
+    disjunction_at_least_one,
+    equal_if,
+    exactly_one,
+    geq_if,
+    leq_if,
+    max_envelope,
+    product_binary_continuous,
+)
+from repro.ilp.model import Model, StandardForm
+from repro.ilp.solution import Solution, SolveStatus
+from repro.ilp.backends import available_backends, get_backend
+
+__all__ = [
+    "Model",
+    "StandardForm",
+    "Variable",
+    "VarType",
+    "LinExpr",
+    "Constraint",
+    "Sense",
+    "quicksum",
+    "Solution",
+    "SolveStatus",
+    "get_backend",
+    "available_backends",
+    "equal_if",
+    "leq_if",
+    "geq_if",
+    "product_binary_continuous",
+    "absolute_value",
+    "max_envelope",
+    "exactly_one",
+    "at_most_one",
+    "disjunction_at_least_one",
+]

@@ -1,0 +1,64 @@
+"""Common interface for MILP solver backends."""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict
+
+import numpy as np
+
+from repro.ilp.expr import Variable
+from repro.ilp.solution import Solution
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.ilp.model import Model, StandardForm
+
+
+class SolverBackend(abc.ABC):
+    """Abstract base class for MILP backends.
+
+    A backend consumes a :class:`~repro.ilp.model.Model`, solves it and
+    returns a :class:`~repro.ilp.solution.Solution`.  Concrete backends are
+    registered in :mod:`repro.ilp.backends` and selected by name.
+    """
+
+    #: Short name used to select the backend (e.g. ``"highs"``).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def solve(
+        self,
+        model: "Model",
+        time_limit: float | None = None,
+        mip_gap: float | None = None,
+        **options,
+    ) -> Solution:
+        """Solve ``model`` and return a :class:`Solution`."""
+
+    # ------------------------------------------------------------------ #
+    # shared utilities
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def assignment_from_vector(
+        form: "StandardForm", x: np.ndarray
+    ) -> Dict[Variable, float]:
+        """Convert a raw solution vector to a variable->value mapping.
+
+        Integer variables are rounded to the nearest integer and clipped to
+        their bounds to remove solver round-off.
+        """
+        values: Dict[Variable, float] = {}
+        for var, raw in zip(form.variables, x):
+            value = float(raw)
+            if var.is_integer:
+                value = float(round(value))
+            value = min(max(value, var.lb), var.ub)
+            values[var] = value
+        return values
+
+    @staticmethod
+    def objective_value(form: "StandardForm", x: np.ndarray) -> float:
+        """Evaluate the (sign-corrected) objective for a raw vector."""
+        value = float(form.objective @ x) + form.objective_constant
+        return value

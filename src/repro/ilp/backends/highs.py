@@ -1,0 +1,150 @@
+"""HiGHS MILP backend built on :func:`scipy.optimize.milp`.
+
+This is the default backend.  SciPy ships the open-source HiGHS solver, which
+plays the role that Gurobi played in the original paper: an exact
+branch-and-cut MILP solver.  The backend translates the model's standard form
+into SciPy's ``LinearConstraint``/``Bounds`` objects, forwards time-limit and
+gap options, and converts the result back into a :class:`Solution`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.errors import SolverError
+from repro.ilp.backends.base import SolverBackend
+from repro.ilp.solution import Solution, SolveStatus
+
+
+class HighsBackend(SolverBackend):
+    """Solve models with SciPy's HiGHS mixed-integer solver."""
+
+    name = "highs"
+
+    def solve(
+        self,
+        model,
+        time_limit: float | None = None,
+        mip_gap: float | None = None,
+        **options,
+    ) -> Solution:
+        form = model.to_standard_form()
+        start = time.perf_counter()
+
+        if form.num_variables == 0:
+            # An empty model is trivially optimal with objective == constant.
+            return Solution(
+                status=SolveStatus.OPTIMAL,
+                objective=form.objective_constant,
+                values={},
+                solve_time=0.0,
+                backend=self.name,
+            )
+
+        objective = form.objective.copy()
+        if form.maximize:
+            objective = -objective
+
+        constraints = []
+        if form.a_ub.shape[0] > 0:
+            constraints.append(
+                optimize.LinearConstraint(
+                    form.a_ub, -np.inf * np.ones(form.a_ub.shape[0]), form.b_ub
+                )
+            )
+        if form.a_eq.shape[0] > 0:
+            constraints.append(
+                optimize.LinearConstraint(form.a_eq, form.b_eq, form.b_eq)
+            )
+
+        bounds = optimize.Bounds(form.lower, form.upper)
+
+        milp_options = {"disp": bool(options.pop("display", False))}
+        if time_limit is not None:
+            milp_options["time_limit"] = float(time_limit)
+        if mip_gap is not None:
+            milp_options["mip_rel_gap"] = float(mip_gap)
+        node_limit = options.pop("node_limit", None)
+        if node_limit is not None:
+            milp_options["node_limit"] = int(node_limit)
+        presolve = options.pop("presolve", None)
+        if presolve is not None:
+            milp_options["presolve"] = bool(presolve)
+        if options:
+            raise SolverError(
+                f"unknown options for the HiGHS backend: {sorted(options)}"
+            )
+
+        try:
+            result = optimize.milp(
+                c=objective,
+                constraints=constraints,
+                integrality=form.integrality,
+                bounds=bounds,
+                options=milp_options,
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            raise SolverError(f"HiGHS backend failed: {exc}") from exc
+
+        elapsed = time.perf_counter() - start
+        return self._interpret(form, result, elapsed)
+
+    # ------------------------------------------------------------------ #
+
+    def _interpret(self, form, result, elapsed: float) -> Solution:
+        """Map SciPy's ``OptimizeResult`` to a :class:`Solution`."""
+        # scipy.optimize.milp status codes:
+        #   0 optimal, 1 iteration/time limit, 2 infeasible, 3 unbounded, 4 other
+        status_code = int(getattr(result, "status", 4))
+        x = getattr(result, "x", None)
+        message = str(getattr(result, "message", ""))
+        gap = getattr(result, "mip_gap", None)
+        gap = float(gap) if gap is not None else None
+
+        has_solution = x is not None and np.all(np.isfinite(x))
+
+        if status_code == 0 and has_solution:
+            status = SolveStatus.OPTIMAL
+        elif status_code == 1 and has_solution:
+            status = SolveStatus.FEASIBLE
+        elif status_code == 1:
+            status = SolveStatus.TIME_LIMIT
+        elif status_code == 2:
+            status = SolveStatus.INFEASIBLE
+        elif status_code == 3:
+            status = SolveStatus.UNBOUNDED
+        elif has_solution:
+            status = SolveStatus.FEASIBLE
+        else:
+            status = SolveStatus.ERROR
+
+        if not has_solution:
+            return Solution(
+                status=status,
+                solve_time=elapsed,
+                backend=self.name,
+                message=message,
+                gap=gap,
+            )
+
+        values = self.assignment_from_vector(form, np.asarray(x, dtype=float))
+        vector = np.array([values[var] for var in form.variables])
+        objective = self.objective_value(form, vector)
+        return Solution(
+            status=status,
+            objective=objective,
+            values=values,
+            solve_time=elapsed,
+            backend=self.name,
+            message=message,
+            gap=gap,
+        )
+
+
+def _ensure_csr(matrix) -> sparse.csr_matrix:  # pragma: no cover - helper
+    if sparse.issparse(matrix):
+        return matrix.tocsr()
+    return sparse.csr_matrix(matrix)

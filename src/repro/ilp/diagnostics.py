@@ -1,0 +1,116 @@
+"""Infeasibility diagnostics: elastic relaxation of a model.
+
+When a phase model comes back infeasible it is rarely obvious which of the
+thousands of constraints conflict.  :func:`elastic_relaxation` rebuilds the
+model with a non-negative slack added to every constraint and minimises the
+total slack; constraints that still need slack at the optimum form (a cover
+of) an irreducible infeasible subsystem and are reported by name.  The same
+mechanism is reused by the tests to assert that particular constraint groups
+are the ones causing deliberate infeasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SolverError
+from repro.ilp.expr import LinExpr, Sense
+from repro.ilp.model import Model
+from repro.ilp.solution import SolveStatus
+
+
+@dataclass(frozen=True)
+class ElasticViolation:
+    """A constraint that had to be relaxed to restore feasibility."""
+
+    constraint_name: str
+    slack: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.constraint_name}: needs {self.slack:.4g} of slack"
+
+
+@dataclass
+class ElasticReport:
+    """Outcome of an elastic relaxation run."""
+
+    feasible_without_slack: bool
+    total_slack: float
+    violations: List[ElasticViolation]
+
+    def violated_names(self) -> List[str]:
+        return [violation.constraint_name for violation in self.violations]
+
+
+def elastic_relaxation(
+    model: Model,
+    time_limit: Optional[float] = 60.0,
+    backend: str = "highs",
+    slack_tolerance: float = 1.0e-4,
+    relax_integrality: bool = True,
+) -> ElasticReport:
+    """Diagnose an infeasible model by minimally relaxing its constraints.
+
+    Parameters
+    ----------
+    model:
+        The model to diagnose.  It is not modified.
+    time_limit, backend:
+        Solver settings for the relaxation problem.
+    slack_tolerance:
+        Slack below this value is treated as zero.
+    relax_integrality:
+        Solve the relaxation as an LP (much faster; sufficient when the
+        infeasibility is already present in the linear relaxation, which is
+        the common case for conflicting equality/window constraints).
+    """
+    elastic = Model(f"{model.name}.elastic")
+    variable_map = {}
+    for var in model.variables:
+        if relax_integrality or not var.is_integer:
+            new_var = elastic.add_continuous(var.name, lb=var.lb, ub=var.ub)
+        elif var.is_binary:
+            new_var = elastic.add_binary(var.name)
+        else:
+            new_var = elastic.add_integer(var.name, lb=var.lb, ub=var.ub)
+        variable_map[var] = new_var
+
+    slack_vars = []
+    slack_names: Dict[str, str] = {}
+    for index, constraint in enumerate(model.constraints):
+        expr = LinExpr(
+            {variable_map[var]: coeff for var, coeff in constraint.expr.coeffs.items()},
+            constraint.expr.constant,
+        )
+        name = constraint.name or f"c{index}"
+        slack = elastic.add_continuous(f"_slack[{name}]#{index}", lb=0.0)
+        slack_vars.append((slack, name))
+        if constraint.sense is Sense.LE:
+            elastic.add_constraint(expr <= LinExpr.from_value(slack), name=name)
+        elif constraint.sense is Sense.GE:
+            elastic.add_constraint(expr >= -1.0 * LinExpr.from_value(slack), name=name)
+        else:
+            elastic.add_constraint(expr <= LinExpr.from_value(slack), name=f"{name}.le")
+            elastic.add_constraint(expr >= -1.0 * LinExpr.from_value(slack), name=f"{name}.ge")
+
+    elastic.set_objective(LinExpr.sum(var for var, _ in slack_vars), sense="min")
+    solution = elastic.solve(backend=backend, time_limit=time_limit)
+    if solution.status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE):
+        raise SolverError(
+            f"elastic relaxation itself failed with status {solution.status.value}"
+        )
+
+    violations = []
+    total = 0.0
+    for slack, name in slack_vars:
+        value = solution.value(slack)
+        if value > slack_tolerance:
+            violations.append(ElasticViolation(name, value))
+            total += value
+    violations.sort(key=lambda violation: violation.slack, reverse=True)
+    return ElasticReport(
+        feasible_without_slack=not violations,
+        total_slack=total,
+        violations=violations,
+    )

@@ -1,0 +1,356 @@
+"""The MILP :class:`Model` container and its standard-form export.
+
+A model owns a set of variables, a set of linear constraints and a linear
+objective.  It can be exported to the standard matrix form
+
+    minimise    c^T x
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                lb <= x <= ub
+                x_i integer for i in `integrality`
+
+which is the interface shared by the HiGHS backend (``scipy.optimize.milp``)
+and the pure-Python branch-and-bound backend.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ModelError
+from repro.ilp.expr import (
+    DEFAULT_TOLERANCE,
+    Constraint,
+    ExprLike,
+    LinExpr,
+    Sense,
+    Variable,
+    VarType,
+)
+from repro.ilp.solution import Solution
+
+_model_counter = itertools.count()
+
+
+@dataclass
+class StandardForm:
+    """Matrix representation of a model, consumed by solver backends.
+
+    All arrays are indexed consistently with ``variables``: column ``j`` of the
+    constraint matrices corresponds to ``variables[j]``.
+    """
+
+    variables: List[Variable]
+    objective: np.ndarray
+    objective_constant: float
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    a_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    integrality: np.ndarray
+    maximize: bool
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return int(self.a_ub.shape[0] + self.a_eq.shape[0])
+
+    @property
+    def num_integer_variables(self) -> int:
+        return int(np.count_nonzero(self.integrality))
+
+
+class Model:
+    """A mixed integer linear programming model.
+
+    Example
+    -------
+    >>> from repro.ilp import Model
+    >>> m = Model("demo")
+    >>> x = m.add_continuous("x", lb=0, ub=10)
+    >>> b = m.add_binary("b")
+    >>> m.add_constraint(x + 4 * b <= 8, name="cap")
+    >>> m.set_objective(x + 2 * b, sense="max")
+    >>> solution = m.solve()
+    >>> round(solution.objective, 6)
+    8.0
+    """
+
+    #: Default big-M constant used by linearisation helpers when the caller
+    #: does not provide a tighter bound.  Layout coordinates in this project
+    #: are bounded by the layout area (at most a few thousand micrometres),
+    #: so 1e5 is safely larger than any honest bound while staying small
+    #: enough not to wreck LP conditioning.
+    DEFAULT_BIG_M = 1.0e5
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._id = next(_model_counter)
+        self._variables: List[Variable] = []
+        self._var_names: Dict[str, Variable] = {}
+        self._constraints: List[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._maximize = False
+        self._aux_counter = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # variables
+    # ------------------------------------------------------------------ #
+
+    def add_var(
+        self,
+        name: str = "",
+        lb: float = 0.0,
+        ub: float = float("inf"),
+        vartype: VarType = VarType.CONTINUOUS,
+    ) -> Variable:
+        """Create and register a new decision variable.
+
+        Variable names must be unique within the model; an empty name is
+        replaced by an automatically generated one.
+        """
+        if not name:
+            name = f"_v{next(self._aux_counter)}"
+        if name in self._var_names:
+            raise ModelError(f"duplicate variable name {name!r} in model {self.name!r}")
+        if vartype is VarType.BINARY:
+            lb = max(0.0, float(lb))
+            ub = min(1.0, float(ub))
+        var = Variable(name, len(self._variables), lb, ub, vartype, self._id)
+        self._variables.append(var)
+        self._var_names[name] = var
+        return var
+
+    def add_continuous(
+        self, name: str = "", lb: float = 0.0, ub: float = float("inf")
+    ) -> Variable:
+        """Add a continuous variable with the given bounds."""
+        return self.add_var(name, lb, ub, VarType.CONTINUOUS)
+
+    def add_integer(
+        self, name: str = "", lb: float = 0.0, ub: float = float("inf")
+    ) -> Variable:
+        """Add a general integer variable with the given bounds."""
+        return self.add_var(name, lb, ub, VarType.INTEGER)
+
+    def add_binary(self, name: str = "") -> Variable:
+        """Add a 0-1 variable."""
+        return self.add_var(name, 0.0, 1.0, VarType.BINARY)
+
+    def get_var(self, name: str) -> Variable:
+        """Look up a variable by name."""
+        try:
+            return self._var_names[name]
+        except KeyError as exc:
+            raise ModelError(f"no variable named {name!r} in model {self.name!r}") from exc
+
+    @property
+    def variables(self) -> Sequence[Variable]:
+        return tuple(self._variables)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    # ------------------------------------------------------------------ #
+    # constraints and objective
+    # ------------------------------------------------------------------ #
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built from a comparison expression."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                "add_constraint expects a Constraint (build one with <=, >= or ==)"
+            )
+        self._check_ownership(constraint.expr)
+        if name:
+            constraint = constraint.with_name(name)
+        elif not constraint.name:
+            constraint = constraint.with_name(f"c{len(self._constraints)}")
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_constraints(
+        self, constraints: Iterable[Constraint], prefix: str = ""
+    ) -> List[Constraint]:
+        """Register several constraints, optionally sharing a name prefix."""
+        added = []
+        for idx, constraint in enumerate(constraints):
+            name = f"{prefix}[{idx}]" if prefix else ""
+            added.append(self.add_constraint(constraint, name))
+        return added
+
+    @property
+    def constraints(self) -> Sequence[Constraint]:
+        return tuple(self._constraints)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    def set_objective(self, objective: ExprLike, sense: str = "min") -> None:
+        """Set the linear objective.
+
+        ``sense`` is ``"min"`` or ``"max"``.
+        """
+        expr = LinExpr.from_value(objective)
+        self._check_ownership(expr)
+        if sense not in ("min", "max"):
+            raise ModelError(f"objective sense must be 'min' or 'max', got {sense!r}")
+        self._objective = expr
+        self._maximize = sense == "max"
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    @property
+    def is_maximization(self) -> bool:
+        return self._maximize
+
+    def _check_ownership(self, expr: LinExpr) -> None:
+        for var in expr.coeffs:
+            if var._model_id != self._id:
+                raise ModelError(
+                    f"variable {var.name!r} belongs to a different model and "
+                    f"cannot be used in model {self.name!r}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+
+    def to_standard_form(self) -> StandardForm:
+        """Export the model to the matrix form used by solver backends."""
+        n = len(self._variables)
+        objective = np.zeros(n)
+        for var, coeff in self._objective.coeffs.items():
+            objective[var.index] = coeff
+
+        ub_rows: List[Dict[int, float]] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[Dict[int, float]] = []
+        eq_rhs: List[float] = []
+
+        for constraint in self._constraints:
+            row = {var.index: coeff for var, coeff in constraint.expr.coeffs.items()}
+            rhs = -constraint.expr.constant
+            if constraint.sense is Sense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif constraint.sense is Sense.GE:
+                ub_rows.append({idx: -coeff for idx, coeff in row.items()})
+                ub_rhs.append(-rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        a_ub = _rows_to_csr(ub_rows, n)
+        a_eq = _rows_to_csr(eq_rows, n)
+
+        lower = np.array([var.lb for var in self._variables], dtype=float)
+        upper = np.array([var.ub for var in self._variables], dtype=float)
+        integrality = np.array(
+            [1 if var.is_integer else 0 for var in self._variables], dtype=int
+        )
+
+        return StandardForm(
+            variables=list(self._variables),
+            objective=objective,
+            objective_constant=self._objective.constant,
+            a_ub=a_ub,
+            b_ub=np.array(ub_rhs, dtype=float),
+            a_eq=a_eq,
+            b_eq=np.array(eq_rhs, dtype=float),
+            lower=lower,
+            upper=upper,
+            integrality=integrality,
+            maximize=self._maximize,
+        )
+
+    # ------------------------------------------------------------------ #
+    # solving and checking
+    # ------------------------------------------------------------------ #
+
+    def solve(
+        self,
+        backend: str = "highs",
+        time_limit: float | None = None,
+        mip_gap: float | None = None,
+        **options,
+    ) -> Solution:
+        """Solve the model with the requested backend.
+
+        Parameters
+        ----------
+        backend:
+            ``"highs"`` (default, SciPy's HiGHS MILP solver) or
+            ``"branch-and-bound"`` (the pure-Python reference backend).
+        time_limit:
+            Wall-clock limit in seconds, or ``None`` for no limit.
+        mip_gap:
+            Relative optimality gap at which the backend may stop early.
+        options:
+            Backend-specific keyword options.
+        """
+        from repro.ilp.backends import get_backend
+
+        solver = get_backend(backend)
+        return solver.solve(self, time_limit=time_limit, mip_gap=mip_gap, **options)
+
+    def check_solution(
+        self, solution: Solution, tolerance: float = DEFAULT_TOLERANCE
+    ) -> List[Constraint]:
+        """Return the constraints violated by a solution (empty when clean)."""
+        if not solution.is_feasible:
+            raise ModelError("cannot check an infeasible/errored solution")
+        violated = []
+        for constraint in self._constraints:
+            if not constraint.is_satisfied(solution.values, tolerance):
+                violated.append(constraint)
+        return violated
+
+    def statistics(self) -> Dict[str, int]:
+        """Return simple model size statistics for reporting."""
+        num_binary = sum(1 for v in self._variables if v.vartype is VarType.BINARY)
+        num_integer = sum(1 for v in self._variables if v.vartype is VarType.INTEGER)
+        return {
+            "variables": len(self._variables),
+            "binary_variables": num_binary,
+            "integer_variables": num_integer,
+            "continuous_variables": len(self._variables) - num_binary - num_integer,
+            "constraints": len(self._constraints),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.statistics()
+        return (
+            f"Model({self.name!r}, {stats['variables']} vars "
+            f"[{stats['binary_variables']} bin, {stats['integer_variables']} int], "
+            f"{stats['constraints']} constraints)"
+        )
+
+
+def _rows_to_csr(rows: List[Dict[int, float]], num_columns: int) -> sparse.csr_matrix:
+    """Assemble a CSR matrix from sparse row dictionaries."""
+    data: List[float] = []
+    row_indices: List[int] = []
+    col_indices: List[int] = []
+    for row_index, row in enumerate(rows):
+        for col_index, value in row.items():
+            row_indices.append(row_index)
+            col_indices.append(col_index)
+            data.append(value)
+    return sparse.csr_matrix(
+        (data, (row_indices, col_indices)), shape=(len(rows), num_columns)
+    )

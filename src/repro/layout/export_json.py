@@ -1,0 +1,92 @@
+"""JSON serialisation of layouts (placement + routing + metadata)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from repro.errors import LayoutError
+from repro.circuit.loader import netlist_from_dict, netlist_to_dict
+from repro.circuit.netlist import Netlist
+from repro.layout.layout import Layout
+from repro.layout.placement import Placement
+from repro.layout.routing import RoutedMicrostrip
+
+PathLike = Union[str, Path]
+
+#: Current schema version of the layout document.
+SCHEMA_VERSION = 1
+
+
+def layout_to_dict(layout: Layout, embed_netlist: bool = True) -> Dict[str, object]:
+    """Serialise a layout to a JSON-friendly dictionary.
+
+    With ``embed_netlist=True`` (default) the document is self-contained;
+    otherwise only the netlist name is recorded and the caller must supply
+    the netlist again when loading.
+    """
+    data: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "circuit": layout.netlist.name,
+        "metadata": dict(layout.metadata),
+        "placements": [placement.as_dict() for placement in layout.placements],
+        "routes": [route.as_dict() for route in layout.routes],
+    }
+    if embed_netlist:
+        data["netlist"] = netlist_to_dict(layout.netlist)
+    return data
+
+
+def layout_from_dict(
+    data: Mapping[str, object], netlist: Optional[Netlist] = None
+) -> Layout:
+    """Deserialise a layout.
+
+    ``netlist`` overrides any embedded netlist; it must be provided when the
+    document was written with ``embed_netlist=False``.
+    """
+    try:
+        version = int(data.get("schema_version", SCHEMA_VERSION))
+        if version != SCHEMA_VERSION:
+            raise LayoutError(
+                f"unsupported layout schema version {version}; expected {SCHEMA_VERSION}"
+            )
+        if netlist is None:
+            embedded = data.get("netlist")
+            if embedded is None:
+                raise LayoutError(
+                    "layout document has no embedded netlist; pass one explicitly"
+                )
+            netlist = netlist_from_dict(dict(embedded))
+        placements = [Placement.from_dict(entry) for entry in data.get("placements", [])]
+        routes = [RoutedMicrostrip.from_dict(entry) for entry in data.get("routes", [])]
+        metadata = dict(data.get("metadata", {}))
+        return Layout(netlist, placements, routes, metadata=metadata)
+    except LayoutError:
+        raise
+    except (KeyError, ValueError, TypeError) as exc:
+        raise LayoutError(f"malformed layout document: {exc}") from exc
+
+
+def save_layout(layout: Layout, path: PathLike, embed_netlist: bool = True) -> Path:
+    """Write a layout to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(layout_to_dict(layout, embed_netlist), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_layout(path: PathLike, netlist: Optional[Netlist] = None) -> Layout:
+    """Read a layout from a JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise LayoutError(f"layout file not found: {path}")
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise LayoutError(f"invalid JSON in {path}: {exc}") from exc
+    return layout_from_dict(data, netlist)

@@ -1,0 +1,154 @@
+"""SVG rendering of layouts.
+
+The paper illustrates its flow with layout snapshots (Figures 1(b) and 7);
+this module produces equivalent pictures as standalone SVG files: the layout
+boundary, device outlines coloured by type, microstrip centre-lines at their
+physical width (optionally smoothed), and markers at bends.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.circuit.device import DeviceType
+from repro.layout.layout import Layout
+from repro.layout.smoothing import smooth_layout
+
+PathLike = Union[str, Path]
+
+#: Fill colours per device type.
+_DEVICE_COLOURS = {
+    DeviceType.TRANSISTOR: "#4d7cba",
+    DeviceType.CAPACITOR: "#67a866",
+    DeviceType.INDUCTOR: "#b08f4a",
+    DeviceType.RESISTOR: "#a46fb0",
+    DeviceType.RF_PAD: "#c4563e",
+    DeviceType.DC_PAD: "#d19a3f",
+    DeviceType.GENERIC: "#8a8a8a",
+}
+
+_STRIP_COLOUR = "#caa45f"
+_BEND_COLOUR = "#d04040"
+_BOUNDARY_COLOUR = "#303030"
+
+
+def layout_to_svg(
+    layout: Layout,
+    scale: float = 1.0,
+    smooth: bool = True,
+    show_labels: bool = True,
+    show_bends: bool = True,
+    margin: float = 20.0,
+) -> str:
+    """Render a layout as an SVG document string.
+
+    Parameters
+    ----------
+    layout:
+        The layout to draw (may be partial).
+    scale:
+        Pixels per micrometre.
+    smooth:
+        Draw the octilinear smoothed microstrips instead of the rectilinear
+        skeleton.
+    show_labels:
+        Draw device names.
+    show_bends:
+        Mark bend locations of the rectilinear skeleton.
+    margin:
+        White margin around the layout area in micrometres.
+    """
+    area = layout.netlist.area
+    width_px = (area.width + 2 * margin) * scale
+    height_px = (area.height + 2 * margin) * scale
+
+    def tx(x: float) -> float:
+        return (x + margin) * scale
+
+    def ty(y: float) -> float:
+        # SVG's y axis points down; layout coordinates point up.
+        return (area.height - y + margin) * scale
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px:.1f}" '
+        f'height="{height_px:.1f}" viewBox="0 0 {width_px:.1f} {height_px:.1f}">'
+    )
+    parts.append(
+        f'<rect x="0" y="0" width="{width_px:.1f}" height="{height_px:.1f}" fill="white"/>'
+    )
+    parts.append(
+        f'<rect x="{tx(0):.2f}" y="{ty(area.height):.2f}" '
+        f'width="{area.width * scale:.2f}" height="{area.height * scale:.2f}" '
+        f'fill="#f7f7f2" stroke="{_BOUNDARY_COLOUR}" stroke-width="{max(1.0, scale):.2f}"/>'
+    )
+
+    # --- microstrips -------------------------------------------------------
+    smoothed = smooth_layout(layout) if smooth else {}
+    for route in layout.routes:
+        width = route.width or layout.netlist.microstrip_width(route.net_name)
+        stroke_width = max(1.0, width * scale)
+        if smooth and route.net_name in smoothed:
+            points = smoothed[route.net_name].vertices
+        else:
+            points = route.path.points
+        coords = " ".join(f"{tx(p.x):.2f},{ty(p.y):.2f}" for p in points)
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{_STRIP_COLOUR}" '
+            f'stroke-width="{stroke_width:.2f}" stroke-linejoin="round" '
+            f'stroke-linecap="round" opacity="0.9">'
+            f"<title>{html.escape(route.net_name)}</title></polyline>"
+        )
+        if show_bends:
+            for bend in route.path.bend_points():
+                parts.append(
+                    f'<circle cx="{tx(bend.x):.2f}" cy="{ty(bend.y):.2f}" '
+                    f'r="{max(2.0, 2.5 * scale):.2f}" fill="none" '
+                    f'stroke="{_BEND_COLOUR}" stroke-width="{max(1.0, scale):.2f}"/>'
+                )
+
+    # --- devices ------------------------------------------------------------
+    for placement in layout.placements:
+        device = layout.netlist.device(placement.device_name)
+        outline = placement.outline(device)
+        colour = _DEVICE_COLOURS.get(device.device_type, _DEVICE_COLOURS[DeviceType.GENERIC])
+        parts.append(
+            f'<rect x="{tx(outline.xl):.2f}" y="{ty(outline.yu):.2f}" '
+            f'width="{outline.width * scale:.2f}" height="{outline.height * scale:.2f}" '
+            f'fill="{colour}" fill-opacity="0.75" stroke="#202020" '
+            f'stroke-width="{max(0.5, 0.5 * scale):.2f}">'
+            f"<title>{html.escape(device.name)}</title></rect>"
+        )
+        if show_labels:
+            font_size = max(6.0, 7.0 * scale)
+            parts.append(
+                f'<text x="{tx(outline.center.x):.2f}" y="{ty(outline.center.y):.2f}" '
+                f'font-size="{font_size:.1f}" text-anchor="middle" '
+                f'dominant-baseline="central" fill="#101010" '
+                f'font-family="sans-serif">{html.escape(device.name)}</text>'
+            )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(layout: Layout, path: PathLike, **kwargs) -> Path:
+    """Render a layout and write it to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(layout_to_svg(layout, **kwargs), encoding="utf-8")
+    return path
+
+
+def save_phase_snapshots(
+    snapshots: Dict[str, Layout], directory: PathLike, **kwargs
+) -> List[Path]:
+    """Write one SVG per named snapshot (mirrors Figure 7 of the paper)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, layout in snapshots.items():
+        written.append(save_svg(layout, directory / f"{name}.svg", **kwargs))
+    return written

@@ -1,0 +1,87 @@
+"""Device placements: where each device sits and how it is oriented."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import LayoutError
+from repro.circuit.device import Device, Rotation
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Position and orientation of one device.
+
+    Attributes
+    ----------
+    device_name:
+        Name of the placed device.
+    center:
+        Centre of the device outline in layout coordinates (µm).
+    rotation:
+        Orientation in quarter turns; pads keep ``R0``.
+    """
+
+    device_name: str
+    center: Point
+    rotation: Rotation = Rotation.R0
+
+    def __post_init__(self) -> None:
+        if not self.device_name:
+            raise LayoutError("placement must name a device")
+
+    def outline(self, device: Device) -> Rect:
+        """Outline rectangle of the device under this placement."""
+        self._check_device(device)
+        return device.outline(self.center, self.rotation)
+
+    def bounding_box(self, device: Device, clearance: float) -> Rect:
+        """Outline expanded by the spacing clearance (Figure 2(a))."""
+        return self.outline(device).expanded(clearance)
+
+    def pin_position(self, device: Device, pin_name: str) -> Point:
+        """Absolute position of a pin under this placement."""
+        self._check_device(device)
+        return device.pin_position(pin_name, self.center, self.rotation)
+
+    def moved_to(self, center: Point) -> "Placement":
+        """Return a copy at a new centre."""
+        return Placement(self.device_name, center, self.rotation)
+
+    def rotated(self, rotation: Rotation) -> "Placement":
+        """Return a copy with a new orientation."""
+        return Placement(self.device_name, self.center, rotation)
+
+    def translated(self, dx: float, dy: float) -> "Placement":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Placement(self.device_name, self.center.translated(dx, dy), self.rotation)
+
+    def _check_device(self, device: Device) -> None:
+        if device.name != self.device_name:
+            raise LayoutError(
+                f"placement of {self.device_name!r} queried with device {device.name!r}"
+            )
+
+    # -- serialisation ------------------------------------------------------ #
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "device": self.device_name,
+            "x": self.center.x,
+            "y": self.center.y,
+            "rotation_deg": self.rotation.degrees,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "Placement":
+        try:
+            return Placement(
+                device_name=str(data["device"]),
+                center=Point(float(data["x"]), float(data["y"])),
+                rotation=Rotation.from_degrees(int(data.get("rotation_deg", 0))),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise LayoutError(f"malformed placement record: {exc}") from exc

@@ -1,0 +1,162 @@
+"""Metal stack-up description of the thin-film microstrip back end.
+
+Figure 1(a) of the paper shows the cross section this module describes: a
+thick silicon substrate, a Metal-1 ground plane, a SiO2 inter-metal dielectric
+of thickness ``t`` and the top-metal microstrip.  The stack-up feeds the RF
+substrate (characteristic impedance, effective permittivity, loss) and
+documents where the layout layers live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import TechnologyError
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """A single metal layer in the back-end stack.
+
+    Attributes
+    ----------
+    name:
+        Layer name (``"M1"`` ... ``"TM"``).
+    thickness:
+        Metal thickness in micrometres.
+    height_above_substrate:
+        Distance from the silicon surface to the bottom of this layer, µm.
+    is_ground_plane:
+        True for the layer used as the microstrip return path.
+    is_microstrip_layer:
+        True for the layer microstrips are drawn on.
+    """
+
+    name: str
+    thickness: float
+    height_above_substrate: float
+    is_ground_plane: bool = False
+    is_microstrip_layer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.thickness <= 0:
+            raise TechnologyError(f"layer {self.name!r}: thickness must be positive")
+        if self.height_above_substrate < 0:
+            raise TechnologyError(
+                f"layer {self.name!r}: height_above_substrate must be non-negative"
+            )
+
+
+@dataclass(frozen=True)
+class StackUp:
+    """Ordered list of metal layers plus the dielectric between them.
+
+    The two distinguished layers are the ground plane (Metal 1) and the
+    microstrip layer (top metal); the dielectric thickness between them is
+    the paper's ``t``.
+    """
+
+    layers: tuple
+    dielectric_permittivity: float = 4.0
+    loss_tangent: float = 0.004
+
+    def __init__(
+        self,
+        layers: List[MetalLayer],
+        dielectric_permittivity: float = 4.0,
+        loss_tangent: float = 0.004,
+    ) -> None:
+        if not layers:
+            raise TechnologyError("a stack-up needs at least one metal layer")
+        grounds = [layer for layer in layers if layer.is_ground_plane]
+        strips = [layer for layer in layers if layer.is_microstrip_layer]
+        if len(grounds) != 1:
+            raise TechnologyError("exactly one layer must be the ground plane")
+        if len(strips) != 1:
+            raise TechnologyError("exactly one layer must carry microstrips")
+        if dielectric_permittivity < 1.0:
+            raise TechnologyError("dielectric permittivity must be >= 1")
+        if loss_tangent < 0:
+            raise TechnologyError("loss tangent must be non-negative")
+        ordered = tuple(sorted(layers, key=lambda layer: layer.height_above_substrate))
+        object.__setattr__(self, "layers", ordered)
+        object.__setattr__(self, "dielectric_permittivity", float(dielectric_permittivity))
+        object.__setattr__(self, "loss_tangent", float(loss_tangent))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ground_plane(self) -> MetalLayer:
+        """The layer acting as the microstrip return path."""
+        return next(layer for layer in self.layers if layer.is_ground_plane)
+
+    @property
+    def microstrip_layer(self) -> MetalLayer:
+        """The layer microstrips are drawn on."""
+        return next(layer for layer in self.layers if layer.is_microstrip_layer)
+
+    @property
+    def microstrip_height(self) -> float:
+        """Dielectric thickness ``t`` between microstrip and ground, µm."""
+        ground = self.ground_plane
+        strip = self.microstrip_layer
+        height = strip.height_above_substrate - (
+            ground.height_above_substrate + ground.thickness
+        )
+        if height <= 0:
+            raise TechnologyError(
+                "microstrip layer must lie above the ground plane"
+            )
+        return height
+
+    def layer_names(self) -> List[str]:
+        """Names of all layers from bottom to top."""
+        return [layer.name for layer in self.layers]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialise to a JSON-friendly dictionary."""
+        return {
+            "dielectric_permittivity": self.dielectric_permittivity,
+            "loss_tangent": self.loss_tangent,
+            "layers": [
+                {
+                    "name": layer.name,
+                    "thickness": layer.thickness,
+                    "height_above_substrate": layer.height_above_substrate,
+                    "is_ground_plane": layer.is_ground_plane,
+                    "is_microstrip_layer": layer.is_microstrip_layer,
+                }
+                for layer in self.layers
+            ],
+        }
+
+
+def default_stackup(technology: Technology | None = None) -> StackUp:
+    """Build the canonical 90 nm thin-film microstrip stack-up.
+
+    The geometry follows Figure 1(a): Metal 1 as the ground plane right above
+    the substrate, intermediate routing metals (not used by microstrips) and
+    a top metal separated from Metal 1 by the technology's ``t``.
+    """
+    technology = technology or Technology()
+    t = technology.ground_plane_distance
+    m1_thickness = 0.3
+    layers = [
+        MetalLayer("M1", m1_thickness, 0.0, is_ground_plane=True),
+        MetalLayer("M2", 0.3, 1.0),
+        MetalLayer("M3", 0.3, 2.0),
+        MetalLayer("M4", 0.5, 3.0),
+        MetalLayer(
+            "TM",
+            technology.metal_thickness,
+            m1_thickness + t,
+            is_microstrip_layer=True,
+        ),
+    ]
+    return StackUp(
+        layers,
+        dielectric_permittivity=technology.substrate_permittivity,
+        loss_tangent=technology.loss_tangent,
+    )

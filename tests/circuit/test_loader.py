@@ -1,0 +1,70 @@
+"""Unit tests for netlist JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.circuit import (
+    dumps_netlist,
+    load_netlist,
+    loads_netlist,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_netlist,
+)
+from tests.conftest import build_small_netlist
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        netlist = build_small_netlist()
+        rebuilt = netlist_from_dict(netlist_to_dict(netlist))
+        assert rebuilt.name == netlist.name
+        assert rebuilt.num_devices == netlist.num_devices
+        assert rebuilt.num_microstrips == netlist.num_microstrips
+        assert rebuilt.area.as_tuple() == netlist.area.as_tuple()
+        assert rebuilt.technology == netlist.technology
+        assert rebuilt.microstrip("ms1").target_length == pytest.approx(260.0)
+
+    def test_string_round_trip(self):
+        netlist = build_small_netlist()
+        text = dumps_netlist(netlist)
+        rebuilt = loads_netlist(text)
+        assert rebuilt.device_names == netlist.device_names
+
+    def test_file_round_trip(self, tmp_path):
+        netlist = build_small_netlist()
+        path = save_netlist(netlist, tmp_path / "circuit.json")
+        assert path.exists()
+        rebuilt = load_netlist(path)
+        assert rebuilt.microstrip_names == netlist.microstrip_names
+
+    def test_document_is_valid_json_with_schema_version(self, tmp_path):
+        netlist = build_small_netlist()
+        path = save_netlist(netlist, tmp_path / "circuit.json")
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == 1
+        assert data["name"] == "small5"
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(NetlistError):
+            load_netlist(tmp_path / "missing.json")
+
+    def test_invalid_json_text(self):
+        with pytest.raises(NetlistError):
+            loads_netlist("{not json")
+
+    def test_unsupported_schema_version(self):
+        data = netlist_to_dict(build_small_netlist())
+        data["schema_version"] = 99
+        with pytest.raises(NetlistError):
+            netlist_from_dict(data)
+
+    def test_missing_required_field(self):
+        data = netlist_to_dict(build_small_netlist())
+        del data["area"]
+        with pytest.raises(NetlistError):
+            netlist_from_dict(data)

@@ -1,0 +1,129 @@
+"""Tests of the exact flow, the progressive flow and their phase mechanics.
+
+The solver-heavy fixtures are session-scoped (see ``conftest.py``), so the
+MILP work happens once; the tests here assert the properties the paper
+claims of the resulting layouts: exact lengths, planarity, spacing, pads on
+the boundary, and few bends.
+"""
+
+import pytest
+
+from repro.core import PILPConfig, plan_refinement
+from repro.core.result import FlowResult, PhaseResult
+from repro.layout import ViolationKind, compute_metrics, run_drc
+
+
+class TestExactFlow:
+    def test_layout_is_drc_clean(self, exact_tiny_result):
+        assert isinstance(exact_tiny_result, FlowResult)
+        assert exact_tiny_result.drc.is_clean, exact_tiny_result.drc.summary()
+
+    def test_lengths_match_exactly(self, exact_tiny_result):
+        metrics = exact_tiny_result.metrics
+        assert metrics.max_abs_length_error <= 0.5
+
+    def test_bends_are_few(self, exact_tiny_result):
+        # Two nets in a wide-open area: the optimum needs at most one bend
+        # per net (and the solver proves it).
+        assert exact_tiny_result.metrics.max_bend_count <= 1
+        assert exact_tiny_result.metrics.total_bend_count <= 2
+
+    def test_summary_row_fields(self, exact_tiny_result):
+        row = exact_tiny_result.summary()
+        assert row["flow"] == "exact-ilp"
+        assert row["circuit"] == "tiny"
+        assert row["drc_clean"] is True
+
+    def test_phase_records_exist(self, exact_tiny_result):
+        assert len(exact_tiny_result.phases) == 1
+        phase = exact_tiny_result.phases[0]
+        assert isinstance(phase, PhaseResult)
+        assert phase.phase == "exact"
+        assert phase.solution.is_feasible
+
+    def test_metadata_describes_flow(self, exact_tiny_result):
+        assert exact_tiny_result.layout.metadata["flow"] == "exact-ilp"
+
+
+class TestProgressiveFlow:
+    def test_runs_all_phases(self, pilp_small_result):
+        names = [phase.phase for phase in pilp_small_result.phases]
+        assert names[0] == "phase1"
+        assert names[1] == "phase2"
+        assert any(name.startswith("phase3") for name in names)
+
+    def test_final_layout_complete(self, pilp_small_result):
+        assert pilp_small_result.layout.is_complete
+
+    def test_final_layout_is_clean(self, pilp_small_result):
+        report = pilp_small_result.drc
+        assert report.is_clean, report.summary()
+
+    def test_lengths_match(self, pilp_small_result):
+        assert pilp_small_result.metrics.max_abs_length_error <= 0.5
+
+    def test_pads_on_boundary(self, pilp_small_result):
+        report = run_drc(pilp_small_result.layout)
+        assert report.count(ViolationKind.PAD_NOT_ON_BOUNDARY) == 0
+
+    def test_phase1_reports_blurred_diagnostics(self, pilp_small_result):
+        phase1 = pilp_small_result.phases[0]
+        assert phase1.model_statistics["binary_variables"] > 0
+        assert phase1.runtime > 0
+
+    def test_phase_table_rows(self, pilp_small_result):
+        rows = pilp_small_result.phase_table()
+        assert len(rows) == len(pilp_small_result.phases)
+        assert all("status" in row for row in rows)
+
+    def test_runtime_accounts_for_phases(self, pilp_small_result):
+        phase_total = sum(phase.runtime for phase in pilp_small_result.phases)
+        assert pilp_small_result.runtime >= phase_total * 0.95
+
+    def test_metrics_match_recomputation(self, pilp_small_result):
+        recomputed = compute_metrics(pilp_small_result.layout)
+        assert recomputed.total_bend_count == pilp_small_result.metrics.total_bend_count
+        assert recomputed.max_bend_count == pilp_small_result.metrics.max_bend_count
+
+
+class TestBaselineComparison:
+    def test_pilp_uses_no_more_bends_than_manual(
+        self, pilp_small_result, manual_small_result
+    ):
+        # The paper's headline qualitative result (Table 1).
+        assert (
+            pilp_small_result.metrics.total_bend_count
+            <= manual_small_result.metrics.total_bend_count
+        )
+
+    def test_manual_layout_is_complete(self, manual_small_result):
+        assert manual_small_result.layout.is_complete
+        assert manual_small_result.flow == "manual-like"
+
+    def test_manual_lengths_are_approximately_matched(self, manual_small_result):
+        # The serpentine router matches equivalent lengths within a couple of
+        # micrometres (its documented tolerance).
+        assert manual_small_result.metrics.max_abs_length_error <= 5.0
+
+
+class TestRefinementPlanning:
+    def test_plan_on_clean_layout_deletes_unused_points(
+        self, pilp_small_result, session_small_netlist, session_config
+    ):
+        plan = plan_refinement(
+            session_small_netlist, pilp_small_result.layout, session_config
+        )
+        assert isinstance(plan.chain_positions, dict)
+        assert set(plan.chain_positions) == set(session_small_netlist.microstrip_names)
+        # A clean layout needs no inserted chain points.
+        assert not plan.inserted_points
+
+    def test_plan_inserts_points_for_mismatched_layout(
+        self, hand_layout, tiny_netlist, test_config
+    ):
+        plan = plan_refinement(tiny_netlist, hand_layout, test_config)
+        # The hand layout misses both length targets badly, so both nets
+        # receive additional chain points for detours.
+        assert set(plan.inserted_points) == {"ms_in", "ms_out"}
+        for net_name, points in plan.chain_positions.items():
+            assert len(points) <= test_config.max_chain_points

@@ -1,0 +1,155 @@
+"""Unit tests for the concurrent placement-and-routing model builder.
+
+These tests exercise the *structure* of the generated MILP (variables,
+constraint families, pruning, options) without solving anything expensive;
+the solved-model behaviour is covered by the exact-flow and P-ILP tests.
+"""
+
+import pytest
+
+from repro.circuit import Rotation
+from repro.core import BuildOptions, PILPConfig, RficModelBuilder
+from repro.core.model_builder import DIRECTIONS
+from repro.errors import ModelError
+from repro.geometry import Rect
+from repro.ilp.solution import Solution, SolveStatus
+from tests.conftest import build_tiny_netlist
+
+
+@pytest.fixture
+def netlist():
+    return build_tiny_netlist()
+
+
+@pytest.fixture
+def config():
+    return PILPConfig.fast()
+
+
+def build(netlist, config, **option_overrides):
+    options = BuildOptions(**option_overrides)
+    return RficModelBuilder(netlist, config, options).build()
+
+
+class TestModelStructure:
+    def test_variable_bundles_cover_netlist(self, netlist, config):
+        result = build(netlist, config)
+        assert set(result.devices) == set(netlist.device_names)
+        assert set(result.nets) == set(netlist.microstrip_names)
+
+    def test_chain_point_counts_respected(self, netlist, config):
+        result = build(netlist, config, chain_point_counts={"ms_in": 5, "ms_out": 3})
+        assert len(result.nets["ms_in"].xs) == 5
+        assert len(result.nets["ms_in"].segments) == 4
+        assert len(result.nets["ms_out"].segments) == 2
+
+    def test_direction_binaries_per_segment(self, netlist, config):
+        result = build(netlist, config)
+        for net_vars in result.nets.values():
+            for segment in net_vars.segments:
+                assert set(segment.directions) == set(DIRECTIONS)
+                assert all(var.is_binary for var in segment.directions.values())
+
+    def test_bend_variables_only_at_interior_points(self, netlist, config):
+        result = build(netlist, config, chain_point_counts={"ms_in": 4, "ms_out": 2})
+        assert len(result.nets["ms_in"].bend_vars) == 2
+        assert len(result.nets["ms_out"].bend_vars) == 0
+
+    def test_exact_length_adds_equality(self, netlist, config):
+        exact = build(netlist, config, exact_lengths=True)
+        names = [constraint.name for constraint in exact.model.constraints]
+        assert any(name.endswith(".exact_length") for name in names)
+        assert exact.nets["ms_in"].length_slack is None
+
+    def test_soft_length_adds_slack(self, netlist, config):
+        soft = build(netlist, config, exact_lengths=False)
+        assert soft.nets["ms_in"].length_slack is not None
+        assert soft.max_length_slack_var is not None
+
+    def test_overlap_slack_only_when_allowed(self, netlist, config):
+        hard = build(netlist, config, allow_overlap=False)
+        soft = build(netlist, config, allow_overlap=True)
+        assert not hard.overlap_slacks
+        assert soft.overlap_slacks
+
+    def test_blurred_mode_grows_targets(self, netlist, config):
+        blurred = build(netlist, config, blurred_devices=True, exact_lengths=False)
+        normal = build(netlist, config, exact_lengths=False)
+        assert (
+            blurred.nets["ms_in"].target_length > normal.nets["ms_in"].target_length
+        )
+
+    def test_length_target_override(self, netlist, config):
+        result = build(netlist, config, length_targets={"ms_in": 123.0})
+        assert result.nets["ms_in"].target_length == pytest.approx(123.0)
+
+    def test_blurred_mode_excludes_device_blocks(self, netlist, config):
+        blurred = build(
+            netlist, config, blurred_devices=True, exact_lengths=False,
+            include_device_blocks=False,
+        )
+        full = build(netlist, config)
+        assert blurred.num_spacing_pairs < full.num_spacing_pairs
+
+    def test_rotation_variables_created_when_allowed(self, netlist, config):
+        result = build(netlist, config, rotatable_devices={"M1"})
+        assert len(result.devices["M1"].rotation_vars) == 4
+        assert not result.devices["P_IN"].rotation_vars
+
+    def test_pads_get_boundary_side_binaries(self, netlist, config):
+        result = build(netlist, config)
+        assert set(result.devices["P_IN"].boundary_sides) == {
+            "left",
+            "right",
+            "bottom",
+            "top",
+        }
+        assert not result.devices["M1"].boundary_sides
+
+    def test_window_pruning_reduces_pairs(self, netlist, config):
+        unpruned = build(netlist, config)
+        windows = {
+            ("ms_in", index): Rect(0, 0, 120, 120) for index in range(4)
+        }
+        windows.update({("ms_out", index): Rect(280, 180, 400, 300) for index in range(4)})
+        device_windows = {
+            "P_IN": Rect(0, 0, 120, 120),
+            "M1": Rect(150, 100, 250, 200),
+            "P_OUT": Rect(280, 180, 400, 300),
+        }
+        pruned = build(
+            netlist,
+            config,
+            chain_windows=windows,
+            device_windows=device_windows,
+        )
+        assert pruned.num_spacing_pairs < unpruned.num_spacing_pairs
+
+    def test_statistics_scale_with_chain_points(self, netlist, config):
+        small = build(netlist, config, chain_point_counts={"ms_in": 3, "ms_out": 3})
+        large = build(netlist, config, chain_point_counts={"ms_in": 6, "ms_out": 6})
+        assert (
+            large.model.statistics()["binary_variables"]
+            > small.model.statistics()["binary_variables"]
+        )
+
+
+class TestExtraction:
+    def test_extract_requires_feasible_solution(self, netlist, config):
+        result = build(netlist, config)
+        with pytest.raises(ModelError):
+            result.extract_layout(Solution(status=SolveStatus.INFEASIBLE))
+
+    def test_extracted_layout_is_complete_and_rectilinear(
+        self, exact_tiny_result
+    ):
+        layout = exact_tiny_result.layout
+        assert layout.is_complete
+        for route in layout.routes:
+            for segment in route.segments():
+                assert segment.is_horizontal or segment.is_vertical
+
+    def test_diagnostic_maps_cover_all_nets(self, exact_tiny_result):
+        phase = exact_tiny_result.phases[0]
+        assert set(phase.length_errors) == {"ms_in", "ms_out"}
+        assert set(phase.bend_counts) == {"ms_in", "ms_out"}

@@ -1,0 +1,108 @@
+"""Unit tests for the seed placement and confinement-window helpers."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    chain_point_counts,
+    chain_positions_from_layout,
+    chain_windows_from_positions,
+    device_windows_from_layout,
+    mean_device_extent,
+    window_around,
+)
+from repro.core.seed import relax_seed_overlaps, seed_placement, spread_boundary_pads
+from repro.geometry import Point
+from tests.conftest import build_small_netlist, build_tiny_netlist
+
+
+class TestSeedPlacement:
+    def test_all_devices_receive_a_seed(self):
+        netlist = build_small_netlist()
+        seeds = seed_placement(netlist)
+        assert set(seeds) == set(netlist.device_names)
+
+    def test_seeds_inside_area(self):
+        netlist = build_small_netlist()
+        for point in seed_placement(netlist).values():
+            assert 0.0 <= point.x <= netlist.area.width
+            assert 0.0 <= point.y <= netlist.area.height
+
+    def test_pads_touch_the_boundary(self):
+        netlist = build_tiny_netlist()
+        seeds = seed_placement(netlist)
+        for pad in netlist.pads():
+            device = netlist.device(pad.name)
+            point = seeds[pad.name]
+            distances = [
+                point.x - device.width / 2.0,
+                netlist.area.width - device.width / 2.0 - point.x,
+                point.y - device.height / 2.0,
+                netlist.area.height - device.height / 2.0 - point.y,
+            ]
+            assert min(abs(d) for d in distances) < 1.0
+
+    def test_determinism(self):
+        netlist = build_small_netlist()
+        first = seed_placement(netlist, seed=7)
+        second = seed_placement(netlist, seed=7)
+        assert first == second
+
+    def test_no_two_seeds_overlap_outlines(self):
+        netlist = build_small_netlist()
+        seeds = seed_placement(netlist)
+        for name_a, name_b in itertools.combinations(seeds, 2):
+            device_a = netlist.device(name_a)
+            device_b = netlist.device(name_b)
+            minimum = (
+                max(device_a.width, device_a.height) / 2.0
+                + max(device_b.width, device_b.height) / 2.0
+            )
+            distance = seeds[name_a].euclidean_distance(seeds[name_b])
+            assert distance >= 0.6 * minimum
+
+    def test_relax_seed_overlaps_separates_coincident_points(self):
+        netlist = build_tiny_netlist()
+        coincident = {name: Point(200.0, 150.0) for name in netlist.device_names}
+        relaxed = relax_seed_overlaps(coincident, netlist)
+        distances = [
+            relaxed[a].euclidean_distance(relaxed[b])
+            for a, b in itertools.combinations(relaxed, 2)
+        ]
+        assert min(distances) > 10.0
+
+    def test_spread_boundary_pads_keeps_pads_apart(self):
+        netlist = build_small_netlist()
+        seeds = {name: Point(30.0, 225.0) for name in netlist.device_names}
+        spread = spread_boundary_pads(seeds, netlist)
+        pads = [pad.name for pad in netlist.pads()]
+        coordinates = {spread[name].as_tuple() for name in pads}
+        assert len(coordinates) == len(pads)
+
+
+class TestWindows:
+    def test_window_around(self):
+        window = window_around(Point(10.0, 20.0), 5.0)
+        assert window.as_tuple() == (5.0, 15.0, 15.0, 25.0)
+
+    def test_device_windows_from_layout(self, hand_layout):
+        windows = device_windows_from_layout(hand_layout, 30.0)
+        assert set(windows) == {"M1", "P_IN", "P_OUT"}
+        assert windows["M1"].contains_point(hand_layout.placement("M1").center)
+
+    def test_chain_positions_and_windows(self, hand_layout):
+        positions = chain_positions_from_layout(hand_layout)
+        assert set(positions) == {"ms_in", "ms_out"}
+        counts = chain_point_counts(positions)
+        assert counts["ms_in"] == 3
+        windows = chain_windows_from_positions(positions, 25.0)
+        assert ("ms_in", 0) in windows
+        assert windows[("ms_in", 0)].width == pytest.approx(50.0)
+
+    def test_mean_device_extent(self):
+        netlist = build_tiny_netlist()
+        # Only the transistor is a non-pad device: (40 + 30) / 2 = 35.
+        assert mean_device_extent(netlist) == pytest.approx(35.0)
+        with_pads = mean_device_extent(netlist, include_pads=True)
+        assert with_pads > mean_device_extent(netlist)

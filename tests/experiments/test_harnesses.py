@@ -1,0 +1,181 @@
+"""Tests of the Table 1 / Figure 11 harness logic.
+
+The real benchmark circuits and solver budgets are exercised by the
+``benchmarks/`` harness; here the expensive flows are replaced by the
+session-scoped solved results so the aggregation, comparison and "shape"
+logic can be tested quickly and deterministically.
+"""
+
+import types
+
+import pytest
+
+from repro.circuit import LayoutArea
+from repro.experiments import figure11 as figure11_module
+from repro.experiments import table1 as table1_module
+from repro.experiments.figure11 import run_figure11_circuit
+from repro.experiments.table1 import Table1Result, Table1Row, run_table1_circuit
+from repro.errors import ExperimentError
+from repro.rf import SignalChain
+
+
+@pytest.fixture
+def patched_table1(monkeypatch, session_small_netlist, pilp_small_result, manual_small_result):
+    """Patch the Table 1 harness to use the pre-solved small circuit."""
+
+    fake_circuit = types.SimpleNamespace(netlist=session_small_netlist)
+    monkeypatch.setattr(
+        table1_module, "get_circuit", lambda name, variant=None, area=None: fake_circuit
+    )
+    monkeypatch.setattr(
+        table1_module,
+        "area_settings",
+        lambda name, variant=None: [LayoutArea(600.0, 450.0), LayoutArea(550.0, 400.0)],
+    )
+
+    class FakePILP:
+        def __init__(self, config=None):
+            pass
+
+        def generate(self, netlist):
+            return pilp_small_result
+
+    class FakeManual:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def generate(self, netlist):
+            return manual_small_result
+
+    monkeypatch.setattr(table1_module, "PILPLayoutGenerator", FakePILP)
+    monkeypatch.setattr(table1_module, "ManualLikeFlow", FakeManual)
+    return fake_circuit
+
+
+@pytest.fixture
+def patched_figure11(monkeypatch, session_small_netlist, pilp_small_result, manual_small_result):
+    """Patch the Figure 11 harness to use the pre-solved small circuit."""
+    chain = SignalChain.from_shorthand(
+        "small5",
+        [
+            ("device", "P_IN"),
+            ("line", "ms1"),
+            ("device", "M1"),
+            ("line", "ms2"),
+            ("device", "C1"),
+            ("line", "ms3"),
+            ("device", "M2"),
+            ("line", "ms4"),
+            ("device", "P_OUT"),
+        ],
+    )
+    fake_circuit = types.SimpleNamespace(netlist=session_small_netlist, chain=chain)
+    monkeypatch.setattr(
+        figure11_module, "get_circuit", lambda name, variant=None, area=None: fake_circuit
+    )
+    monkeypatch.setattr(
+        figure11_module, "pilp_area", lambda name, variant=None: LayoutArea(600.0, 450.0)
+    )
+
+    class FakePILP:
+        def __init__(self, config=None):
+            pass
+
+        def generate(self, netlist):
+            return pilp_small_result
+
+    class FakeManual:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def generate(self, netlist):
+            return manual_small_result
+
+    monkeypatch.setattr(figure11_module, "PILPLayoutGenerator", FakePILP)
+    monkeypatch.setattr(figure11_module, "ManualLikeFlow", FakeManual)
+    return fake_circuit
+
+
+class TestTable1Harness:
+    def test_rows_cover_both_area_settings(self, patched_table1):
+        result = run_table1_circuit("lna94")
+        assert len(result.rows) == 2
+        assert result.rows[0].area_setting == 0
+        assert result.rows[1].area_setting == 1
+
+    def test_manual_only_on_first_setting(self, patched_table1):
+        result = run_table1_circuit("lna94")
+        assert result.rows[0].manual_total_bends is not None
+        assert result.rows[1].manual_total_bends is None
+
+    def test_paper_reference_attached(self, patched_table1):
+        result = run_table1_circuit("lna94")
+        assert result.rows[0].paper_pilp_total_bends == 22
+        assert result.rows[0].paper_manual_total_bends == 59
+
+    def test_shape_holds_for_solved_small_circuit(self, patched_table1):
+        result = run_table1_circuit("lna94")
+        assert result.shape_holds()
+
+    def test_text_rendering(self, patched_table1):
+        result = run_table1_circuit("lna94")
+        text = result.to_text()
+        assert "Table 1" in text
+        assert "pilp_total_bends" in text
+
+    def test_include_manual_false(self, patched_table1):
+        result = run_table1_circuit("lna94", include_manual=False)
+        assert result.rows[0].manual_total_bends is None
+
+    def test_shape_fails_when_pilp_worse(self):
+        row = Table1Row(
+            circuit="x",
+            area_setting=0,
+            area_label="100x100",
+            num_microstrips=1,
+            num_devices=1,
+            manual_max_bends=1,
+            manual_total_bends=2,
+            manual_runtime_s=1.0,
+            pilp_max_bends=5,
+            pilp_total_bends=9,
+            pilp_runtime_s=1.0,
+            pilp_drc_clean=True,
+        )
+        assert not Table1Result(rows=[row]).shape_holds()
+
+
+class TestFigure11Harness:
+    def test_series_and_gains(self, patched_figure11):
+        result = run_figure11_circuit("buffer60")
+        assert result.circuit == "buffer60"
+        assert result.designed.sparameters.frequencies.size > 0
+        rows = result.gain_rows()
+        assert [row["series"] for row in rows] == ["designed", "manual-like", "p-ilp"]
+
+    def test_paper_gains_attached(self, patched_figure11):
+        result = run_figure11_circuit("buffer60")
+        assert result.paper_manual_gain_db == pytest.approx(16.791)
+        assert result.paper_pilp_gain_db == pytest.approx(16.998)
+
+    def test_text_rendering(self, patched_figure11):
+        text = run_figure11_circuit("buffer60").to_text()
+        assert "Figure 11" in text
+        assert "p-ilp" in text
+
+    def test_series_dict_is_json_friendly(self, patched_figure11):
+        import json
+
+        data = run_figure11_circuit("buffer60").series_dict()
+        assert json.dumps(data)
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_figure11_circuit("lna60")
+
+    def test_shape_claim(self, patched_figure11):
+        result = run_figure11_circuit("buffer60")
+        # The solved P-ILP layout has exact lengths and few bends, the manual
+        # baseline has many serpentine bends: the gain ordering must match
+        # the paper's Figure 11.
+        assert result.shape_holds()

@@ -1,0 +1,169 @@
+"""Tests of the two MILP backends, including cross-checks between them."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.ilp import Model, SolveStatus, available_backends, get_backend
+from repro.ilp.backends.branch_bound import BranchAndBoundBackend
+from repro.ilp.backends.highs import HighsBackend
+
+BACKENDS = ("highs", "branch-and-bound")
+
+
+def knapsack_model(weights, values, capacity):
+    model = Model("knapsack")
+    items = [model.add_binary(f"item{i}") for i in range(len(weights))]
+    model.add_constraint(
+        sum(weight * item for weight, item in zip(weights, items)) <= capacity
+    )
+    model.set_objective(
+        sum(value * item for value, item in zip(values, items)), sense="max"
+    )
+    return model, items
+
+
+class TestBackendRegistry:
+    def test_available_backends(self):
+        assert set(available_backends()) == {"highs", "branch-and-bound"}
+
+    def test_aliases_resolve(self):
+        assert isinstance(get_backend("scipy"), HighsBackend)
+        assert isinstance(get_backend("bnb"), BranchAndBoundBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(SolverError):
+            get_backend("gurobi")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBothBackends:
+    def test_knapsack_optimum(self, backend):
+        # Best bundle: items with weights 4 and 6 (values 5 + 9 = 14).
+        model, items = knapsack_model([3, 4, 5, 6], [4, 5, 6, 9], capacity=10)
+        solution = model.solve(backend=backend)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(14.0)
+
+    def test_integer_rounding(self, backend):
+        model = Model()
+        n = model.add_integer("n", lb=0, ub=10)
+        model.add_constraint(2 * n <= 7)
+        model.set_objective(n, sense="max")
+        solution = model.solve(backend=backend)
+        assert solution.value(n) == pytest.approx(3.0)
+
+    def test_infeasible_detection(self, backend):
+        model = Model()
+        x = model.add_continuous("x", lb=0, ub=1)
+        model.add_constraint(x >= 2)
+        solution = model.solve(backend=backend)
+        assert solution.status is SolveStatus.INFEASIBLE
+        assert not solution.is_feasible
+
+    def test_pure_lp(self, backend):
+        model = Model()
+        x = model.add_continuous("x", ub=4)
+        y = model.add_continuous("y", ub=4)
+        model.add_constraint(x + y <= 6)
+        model.set_objective(x + 3 * y, sense="max")
+        solution = model.solve(backend=backend)
+        assert solution.objective == pytest.approx(14.0)
+
+    def test_minimisation(self, backend):
+        model = Model()
+        x = model.add_continuous("x", lb=2, ub=9)
+        model.set_objective(5 * x, sense="min")
+        solution = model.solve(backend=backend)
+        assert solution.objective == pytest.approx(10.0)
+
+    def test_equality_constraints(self, backend):
+        model = Model()
+        x = model.add_continuous("x", ub=10)
+        y = model.add_continuous("y", ub=10)
+        model.add_constraint(x + y == 7)
+        model.add_constraint(x - y == 1)
+        model.set_objective(x, sense="min")
+        solution = model.solve(backend=backend)
+        assert solution.value(x) == pytest.approx(4.0)
+        assert solution.value(y) == pytest.approx(3.0)
+
+    def test_binary_assignment_problem(self, backend):
+        # 2x2 assignment: worker i to task j with costs; optimal is diagonal.
+        costs = {(0, 0): 1, (0, 1): 5, (1, 0): 6, (1, 1): 2}
+        model = Model()
+        assign = {key: model.add_binary(f"a{key}") for key in costs}
+        for worker in range(2):
+            model.add_constraint(assign[(worker, 0)] + assign[(worker, 1)] == 1)
+        for task in range(2):
+            model.add_constraint(assign[(0, task)] + assign[(1, task)] == 1)
+        model.set_objective(
+            sum(cost * assign[key] for key, cost in costs.items()), sense="min"
+        )
+        solution = model.solve(backend=backend)
+        assert solution.objective == pytest.approx(3.0)
+        assert solution.value(assign[(0, 0)]) == pytest.approx(1.0)
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize(
+        "weights,values,capacity",
+        [
+            ([2, 3, 4, 5], [3, 4, 5, 6], 5),
+            ([1, 2, 3, 8, 7, 4], [20, 5, 10, 40, 15, 25], 10),
+            ([5, 5, 5], [10, 10, 10], 4),
+        ],
+    )
+    def test_backends_agree_on_knapsacks(self, weights, values, capacity):
+        results = []
+        for backend in BACKENDS:
+            model, _ = knapsack_model(weights, values, capacity)
+            results.append(model.solve(backend=backend).objective)
+        assert results[0] == pytest.approx(results[1])
+
+    def test_backends_agree_on_mixed_model(self):
+        objectives = []
+        for backend in BACKENDS:
+            model = Model()
+            x = model.add_continuous("x", ub=10)
+            b = model.add_binary("b")
+            n = model.add_integer("n", ub=3)
+            model.add_constraint(x + 4 * b + 2 * n <= 9)
+            model.add_constraint(x >= n)
+            model.set_objective(2 * x + 3 * b + n, sense="max")
+            objectives.append(model.solve(backend=backend).objective)
+        assert objectives[0] == pytest.approx(objectives[1])
+
+
+class TestBranchAndBoundSpecifics:
+    def test_node_limit_returns_feasible_or_limit(self):
+        model, _ = knapsack_model(list(range(1, 12)), list(range(11, 0, -1)), 17)
+        solution = model.solve(backend="branch-and-bound", max_nodes=3)
+        assert solution.status in (
+            SolveStatus.OPTIMAL,
+            SolveStatus.FEASIBLE,
+            SolveStatus.TIME_LIMIT,
+        )
+
+    def test_unknown_option_rejected(self):
+        model, _ = knapsack_model([1, 2], [1, 2], 2)
+        with pytest.raises(SolverError):
+            model.solve(backend="branch-and-bound", warm_start=True)
+
+    def test_gap_reported(self):
+        model, _ = knapsack_model([3, 4, 5], [4, 5, 6], 9)
+        solution = model.solve(backend="branch-and-bound")
+        assert solution.gap is not None
+        assert solution.gap <= 1e-6
+
+
+class TestHighsSpecifics:
+    def test_unknown_option_rejected(self):
+        model = Model()
+        model.add_continuous("x", ub=1)
+        with pytest.raises(SolverError):
+            model.solve(backend="highs", warm_start=True)
+
+    def test_time_limit_is_accepted(self):
+        model, _ = knapsack_model([2, 3, 4], [3, 4, 5], 6)
+        solution = model.solve(backend="highs", time_limit=10.0)
+        assert solution.is_feasible

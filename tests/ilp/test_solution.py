@@ -1,0 +1,98 @@
+"""Tests for solution objects and the infeasibility diagnostics."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp import Model, SolveStatus
+from repro.ilp.diagnostics import elastic_relaxation
+from repro.ilp.solution import Solution, error_solution, infeasible_solution
+
+
+class TestSolutionObject:
+    def test_summary_contains_status_and_objective(self):
+        model = Model()
+        x = model.add_continuous("x", ub=3)
+        model.set_objective(x, sense="max")
+        solution = model.solve()
+        text = solution.summary()
+        assert "optimal" in text
+        assert "objective=3" in text
+
+    def test_as_name_dict(self):
+        model = Model()
+        x = model.add_continuous("x", ub=2)
+        model.set_objective(x, sense="max")
+        solution = model.solve()
+        assert solution.as_name_dict() == {"x": pytest.approx(2.0)}
+
+    def test_value_requires_feasibility(self):
+        solution = infeasible_solution("highs")
+        model = Model()
+        x = model.add_continuous("x")
+        with pytest.raises(ModelError):
+            solution.value(x)
+
+    def test_value_of_unknown_variable(self):
+        model = Model()
+        x = model.add_continuous("x", ub=1)
+        model.set_objective(x, sense="max")
+        solution = model.solve()
+        other = Model().add_continuous("y")
+        with pytest.raises(ModelError):
+            solution.value(other)
+
+    def test_error_solution_flags(self):
+        solution = error_solution("highs", "boom")
+        assert solution.status is SolveStatus.ERROR
+        assert not solution.is_feasible
+        assert not solution.is_optimal
+
+    def test_feasible_but_not_optimal(self):
+        model = Model()
+        x = model.add_continuous("x", ub=1)
+        solution = Solution(
+            status=SolveStatus.FEASIBLE, objective=1.0, values={model.get_var("x"): 1.0}
+        )
+        assert solution.is_feasible
+        assert not solution.is_optimal
+
+
+class TestElasticRelaxation:
+    def test_feasible_model_needs_no_slack(self):
+        model = Model()
+        x = model.add_continuous("x", ub=10)
+        model.add_constraint(x <= 5, name="cap")
+        report = elastic_relaxation(model)
+        assert report.feasible_without_slack
+        assert report.total_slack == pytest.approx(0.0)
+
+    def test_conflicting_bounds_are_reported(self):
+        model = Model()
+        x = model.add_continuous("x", lb=0, ub=4)
+        model.add_constraint(x >= 6, name="too-high")
+        report = elastic_relaxation(model)
+        assert not report.feasible_without_slack
+        assert "too-high" in report.violated_names()
+        assert report.total_slack == pytest.approx(2.0, abs=1e-4)
+
+    def test_conflicting_equalities_reported(self):
+        model = Model()
+        x = model.add_continuous("x", ub=10)
+        model.add_constraint(x.to_expr() == 2, name="first")
+        model.add_constraint(x.to_expr() == 5, name="second")
+        report = elastic_relaxation(model)
+        assert not report.feasible_without_slack
+        # One of the two equalities must absorb the 3-unit gap.
+        assert report.total_slack == pytest.approx(3.0, abs=1e-4)
+
+    def test_integer_only_conflict_found_with_milp_relaxation(self):
+        model = Model()
+        b1 = model.add_binary("b1")
+        b2 = model.add_binary("b2")
+        model.add_constraint(b1 + b2 == 1, name="pick-one")
+        model.add_constraint(b1 >= 1, name="force-b1")
+        model.add_constraint(b2 >= 1, name="force-b2")
+        lp_report = elastic_relaxation(model, relax_integrality=True)
+        milp_report = elastic_relaxation(model, relax_integrality=False)
+        assert not lp_report.feasible_without_slack or not milp_report.feasible_without_slack
+        assert not milp_report.feasible_without_slack

@@ -1,0 +1,107 @@
+"""Unit tests for placements and routed microstrips."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.circuit import Rotation, make_transistor
+from repro.geometry import ManhattanPath, Point
+from repro.layout import Placement, RoutedMicrostrip
+
+
+@pytest.fixture
+def transistor():
+    return make_transistor("M1", width=40.0, height=30.0)
+
+
+class TestPlacement:
+    def test_outline_and_pins(self, transistor):
+        placement = Placement("M1", Point(100.0, 100.0))
+        outline = placement.outline(transistor)
+        assert outline.center == Point(100.0, 100.0)
+        assert placement.pin_position(transistor, "G") == Point(80.0, 100.0)
+
+    def test_rotated_outline(self, transistor):
+        placement = Placement("M1", Point(100.0, 100.0), Rotation.R90)
+        outline = placement.outline(transistor)
+        assert outline.width == pytest.approx(30.0)
+        assert outline.height == pytest.approx(40.0)
+
+    def test_bounding_box_expansion(self, transistor):
+        placement = Placement("M1", Point(100.0, 100.0))
+        box = placement.bounding_box(transistor, clearance=5.0)
+        assert box.width == pytest.approx(50.0)
+
+    def test_wrong_device_rejected(self, transistor):
+        placement = Placement("M2", Point(0.0, 0.0))
+        with pytest.raises(LayoutError):
+            placement.outline(transistor)
+
+    def test_move_and_rotate_return_copies(self):
+        placement = Placement("M1", Point(0.0, 0.0))
+        moved = placement.moved_to(Point(5.0, 5.0))
+        rotated = placement.rotated(Rotation.R180)
+        translated = placement.translated(1.0, 2.0)
+        assert placement.center == Point(0.0, 0.0)
+        assert moved.center == Point(5.0, 5.0)
+        assert rotated.rotation is Rotation.R180
+        assert translated.center == Point(1.0, 2.0)
+
+    def test_serialisation_round_trip(self):
+        placement = Placement("M1", Point(12.5, 7.25), Rotation.R270)
+        rebuilt = Placement.from_dict(placement.as_dict())
+        assert rebuilt == placement
+
+    def test_malformed_record(self):
+        with pytest.raises(LayoutError):
+            Placement.from_dict({"device": "M1"})
+
+
+class TestRoutedMicrostrip:
+    def make_route(self):
+        path = ManhattanPath(
+            [Point(0, 0), Point(100, 0), Point(100, 60)], width=10.0
+        )
+        return RoutedMicrostrip("ms1", path)
+
+    def test_metrics(self):
+        route = self.make_route()
+        assert route.geometric_length == pytest.approx(160.0)
+        assert route.bend_count == 1
+        assert route.equivalent_length(-4.0) == pytest.approx(156.0)
+
+    def test_segments_and_outlines(self):
+        route = self.make_route()
+        assert len(route.segments()) == 2
+        assert len(route.outline_rects(clearance=5.0)) == 2
+
+    def test_length_error(self):
+        from repro.circuit import MicrostripNet, Terminal
+
+        net = MicrostripNet("ms1", Terminal("A", "P"), Terminal("B", "P"), 150.0)
+        route = self.make_route()
+        assert route.length_error(net, delta=-4.0) == pytest.approx(6.0)
+
+    def test_length_error_wrong_net_rejected(self):
+        from repro.circuit import MicrostripNet, Terminal
+
+        net = MicrostripNet("other", Terminal("A", "P"), Terminal("B", "P"), 150.0)
+        with pytest.raises(LayoutError):
+            self.make_route().length_error(net, delta=0.0)
+
+    def test_simplified(self):
+        path = ManhattanPath(
+            [Point(0, 0), Point(50, 0), Point(100, 0), Point(100, 60)], width=10.0
+        )
+        route = RoutedMicrostrip("ms1", path).simplified()
+        assert len(route.chain_points) == 3
+
+    def test_serialisation_round_trip(self):
+        route = self.make_route()
+        rebuilt = RoutedMicrostrip.from_dict(route.as_dict())
+        assert rebuilt.net_name == route.net_name
+        assert rebuilt.geometric_length == pytest.approx(route.geometric_length)
+        assert rebuilt.width == pytest.approx(10.0)
+
+    def test_malformed_record(self):
+        with pytest.raises(LayoutError):
+            RoutedMicrostrip.from_dict({"net": "x"})

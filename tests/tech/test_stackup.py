@@ -1,0 +1,64 @@
+"""Unit tests for the metal stack-up description."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech import CMOS90, MetalLayer, StackUp, default_stackup
+
+
+class TestMetalLayer:
+    def test_valid_layer(self):
+        layer = MetalLayer("M1", 0.3, 0.0, is_ground_plane=True)
+        assert layer.name == "M1"
+
+    def test_invalid_thickness(self):
+        with pytest.raises(TechnologyError):
+            MetalLayer("M1", 0.0, 0.0)
+
+    def test_negative_height(self):
+        with pytest.raises(TechnologyError):
+            MetalLayer("M1", 0.3, -1.0)
+
+
+class TestStackUp:
+    def test_default_stackup_height_matches_technology(self):
+        stack = default_stackup(CMOS90)
+        assert stack.microstrip_height == pytest.approx(CMOS90.ground_plane_distance)
+
+    def test_layers_sorted_bottom_up(self):
+        stack = default_stackup()
+        heights = [layer.height_above_substrate for layer in stack.layers]
+        assert heights == sorted(heights)
+        assert stack.layer_names()[0] == "M1"
+        assert stack.layer_names()[-1] == "TM"
+
+    def test_requires_exactly_one_ground_plane(self):
+        with pytest.raises(TechnologyError):
+            StackUp([MetalLayer("TM", 3.0, 5.0, is_microstrip_layer=True)])
+
+    def test_requires_exactly_one_microstrip_layer(self):
+        with pytest.raises(TechnologyError):
+            StackUp([MetalLayer("M1", 0.3, 0.0, is_ground_plane=True)])
+
+    def test_microstrip_below_ground_rejected(self):
+        layers = [
+            MetalLayer("TM", 1.0, 0.0, is_microstrip_layer=True),
+            MetalLayer("M1", 0.3, 5.0, is_ground_plane=True),
+        ]
+        stack = StackUp(layers)
+        with pytest.raises(TechnologyError):
+            _ = stack.microstrip_height
+
+    def test_as_dict_round_trip_fields(self):
+        stack = default_stackup()
+        data = stack.as_dict()
+        assert data["dielectric_permittivity"] == stack.dielectric_permittivity
+        assert len(data["layers"]) == len(stack.layers)
+
+    def test_invalid_permittivity(self):
+        layers = [
+            MetalLayer("M1", 0.3, 0.0, is_ground_plane=True),
+            MetalLayer("TM", 1.0, 5.0, is_microstrip_layer=True),
+        ]
+        with pytest.raises(TechnologyError):
+            StackUp(layers, dielectric_permittivity=0.5)

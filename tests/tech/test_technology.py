@@ -1,0 +1,68 @@
+"""Unit tests for technology / design-rule descriptions."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech import CMOS65, CMOS90, Technology, default_technology
+
+
+class TestDefaults:
+    def test_default_is_cmos90(self):
+        assert default_technology() is CMOS90
+        assert CMOS90.name == "cmos90"
+
+    def test_paper_quoted_values(self):
+        # The paper quotes t ~ 5 um and a 2t spacing rule for 90 nm CMOS.
+        assert CMOS90.ground_plane_distance == pytest.approx(5.0)
+        assert CMOS90.spacing == pytest.approx(10.0)
+        assert CMOS90.clearance == pytest.approx(5.0)
+
+    def test_cmos65_variant_differs(self):
+        assert CMOS65.ground_plane_distance < CMOS90.ground_plane_distance
+        assert CMOS65.spacing == pytest.approx(8.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("ground_plane_distance", 0.0),
+            ("microstrip_width", -1.0),
+            ("spacing_factor", 0.0),
+            ("min_segment_length", -0.1),
+            ("substrate_permittivity", 0.5),
+            ("metal_conductivity", 0.0),
+            ("metal_thickness", -2.0),
+            ("loss_tangent", -0.01),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(TechnologyError):
+            Technology(**{field: value})
+
+    def test_equivalent_length(self):
+        assert CMOS90.equivalent_length(100.0, 2) == pytest.approx(
+            100.0 + 2 * CMOS90.bend_compensation
+        )
+
+    def test_equivalent_length_rejects_negative_bends(self):
+        with pytest.raises(TechnologyError):
+            CMOS90.equivalent_length(100.0, -1)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        data = CMOS90.as_dict()
+        rebuilt = Technology.from_dict(data)
+        assert rebuilt == CMOS90
+
+    def test_unknown_field_rejected(self):
+        data = CMOS90.as_dict()
+        data["oxide_colour"] = "blue"
+        with pytest.raises(TechnologyError):
+            Technology.from_dict(data)
+
+    def test_with_updates(self):
+        custom = CMOS90.with_updates(microstrip_width=12.0)
+        assert custom.microstrip_width == 12.0
+        assert CMOS90.microstrip_width == 10.0

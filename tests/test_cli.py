@@ -1,0 +1,68 @@
+"""Tests of the command-line interface (fast paths only)."""
+
+import json
+
+import pytest
+
+from repro.circuit import save_netlist
+from repro.cli import build_parser, main
+from tests.conftest import build_tiny_netlist
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "rfic-layout" in capsys.readouterr().out
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_generate_flow_choices(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["generate", "x.json", "--flow", "magic"])
+
+
+class TestCircuitsCommand:
+    def test_lists_all_circuits(self, capsys):
+        assert main(["circuits"]) == 0
+        output = capsys.readouterr().out
+        for name in ("lna94", "buffer60", "lna60"):
+            assert name in output
+
+
+class TestGenerateCommand:
+    def test_unknown_netlist_argument(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "/nonexistent/netlist.json"])
+
+    def test_manual_flow_on_netlist_file(self, tmp_path, capsys):
+        netlist_path = save_netlist(build_tiny_netlist(), tmp_path / "tiny.json")
+        output_path = tmp_path / "layout.json"
+        svg_path = tmp_path / "layout.svg"
+        code = main(
+            [
+                "generate",
+                str(netlist_path),
+                "--flow",
+                "manual",
+                "--output",
+                str(output_path),
+                "--svg",
+                str(svg_path),
+            ]
+        )
+        assert code == 0
+        assert output_path.exists()
+        assert svg_path.exists()
+        document = json.loads(output_path.read_text())
+        assert document["circuit"] == "tiny"
+        printed = capsys.readouterr().out
+        assert "manual flow result" in printed
