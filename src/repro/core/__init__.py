@@ -26,6 +26,11 @@ from repro.core.phase3 import (
     run_phase3_iteration,
 )
 from repro.core.pilp import PILPLayoutGenerator, generate_pilp_layout
+from repro.core.warm_start import (
+    warm_start_from_geometry,
+    warm_start_from_layout,
+    warm_start_from_seeds,
+)
 from repro.core.windows import (
     chain_point_counts,
     chain_positions_from_layout,
@@ -57,6 +62,9 @@ __all__ = [
     "run_phase3_iteration",
     "plan_refinement",
     "RefinementPlan",
+    "warm_start_from_geometry",
+    "warm_start_from_layout",
+    "warm_start_from_seeds",
     "window_around",
     "device_windows_from_layout",
     "chain_positions_from_layout",

@@ -53,11 +53,31 @@ class ObjectiveWeights:
 
 @dataclass(frozen=True)
 class PhaseSettings:
-    """Per-phase solver settings."""
+    """Per-phase solver settings.
+
+    Attributes
+    ----------
+    time_limit, mip_gap, backend:
+        As before: wall-clock budget, relative gap and backend name.
+    warm_start:
+        Seed the solve with an incumbent constructed from the previous
+        phase's geometry (or the seed placement for Phase 1).  Warm starts
+        only ever *add* an incumbent; disabling them reproduces the cold
+        behaviour exactly.
+    progressive:
+        Split the time budget into slices and stop once an extra slice no
+        longer improves the incumbent.  The soft phase models have a
+        structurally weak LP bound (zero), so the MIP-gap criterion never
+        fires and this stall criterion is what keeps phases from burning
+        their whole budget after convergence.  Only honoured by the HiGHS
+        backend.
+    """
 
     time_limit: Optional[float] = 120.0
     mip_gap: Optional[float] = 0.02
     backend: str = "highs"
+    warm_start: bool = True
+    progressive: bool = True
 
     def __post_init__(self) -> None:
         if self.time_limit is not None and self.time_limit <= 0:
@@ -137,7 +157,11 @@ class PILPConfig:
     phase1: PhaseSettings = field(default_factory=lambda: PhaseSettings(time_limit=180.0))
     phase2: PhaseSettings = field(default_factory=lambda: PhaseSettings(time_limit=120.0))
     phase3: PhaseSettings = field(default_factory=lambda: PhaseSettings(time_limit=90.0))
-    exact: PhaseSettings = field(default_factory=lambda: PhaseSettings(time_limit=300.0))
+    exact: PhaseSettings = field(
+        default_factory=lambda: PhaseSettings(
+            time_limit=300.0, warm_start=False, progressive=False
+        )
+    )
     random_seed: int = 2016
 
     def __post_init__(self) -> None:
@@ -181,7 +205,9 @@ class PILPConfig:
             phase1=PhaseSettings(time_limit=20.0, mip_gap=0.05),
             phase2=PhaseSettings(time_limit=20.0, mip_gap=0.05),
             phase3=PhaseSettings(time_limit=15.0, mip_gap=0.05),
-            exact=PhaseSettings(time_limit=30.0, mip_gap=0.02),
+            exact=PhaseSettings(
+                time_limit=30.0, mip_gap=0.02, warm_start=False, progressive=False
+            ),
         )
 
     @staticmethod
@@ -200,5 +226,7 @@ class PILPConfig:
             phase1=PhaseSettings(time_limit=600.0, mip_gap=0.02),
             phase2=PhaseSettings(time_limit=420.0, mip_gap=0.02),
             phase3=PhaseSettings(time_limit=300.0, mip_gap=0.02),
-            exact=PhaseSettings(time_limit=1800.0, mip_gap=0.01),
+            exact=PhaseSettings(
+                time_limit=1800.0, mip_gap=0.01, warm_start=False, progressive=False
+            ),
         )

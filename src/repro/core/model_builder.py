@@ -17,6 +17,14 @@ program following the paper's formulation:
 The same builder serves the one-shot exact model and all three phases of the
 progressive flow; :class:`BuildOptions` selects which abstractions apply
 (blurred devices, confinement windows, rotation freedom, soft lengths).
+
+The large constraint families — segment bounding boxes, no-reversal rows,
+bend detection and above all the pairwise non-overlap disjunctions, which
+grow quadratically with block count — are emitted through the batched
+compile path (:class:`repro.ilp.compile.ConstraintBatch`): rows are
+accumulated as COO triplets and ingested in bulk, skipping the per-term
+dictionary merges of the expression API.  The produced standard form is
+identical to the legacy expression path (a property test pins this down).
 """
 
 from __future__ import annotations
@@ -33,7 +41,8 @@ from repro.core.config import PILPConfig
 from repro.geometry.path import ManhattanPath
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.ilp.expr import LinExpr, Variable
+from repro.ilp.compile import ColumnExpr, ConstraintBatch
+from repro.ilp.expr import LinExpr, Variable, lin_sum
 from repro.ilp.linearize import equal_if, exactly_one
 from repro.ilp.model import Model
 from repro.ilp.solution import Solution
@@ -95,6 +104,12 @@ class BuildOptions:
         Enforce spacing between non-adjacent segments of the same net.
     spacing_exempt_pairs:
         Extra pairs of block labels allowed to overlap.
+    forced_spacing_pairs:
+        Pairs of *net names* whose mutual spacing exemption is revoked.
+        Used by Phase-3 refinement to untangle nets whose centre lines were
+        found crossing: the pair's segments get (softly slacked) separation
+        rows even where the shared-terminal rule would normally exempt
+        them, so the escalating overlap penalty pushes the crossing apart.
     """
 
     blurred_devices: bool = False
@@ -110,6 +125,7 @@ class BuildOptions:
     extra_segment_margin: float = 0.0
     same_net_spacing: bool = False
     spacing_exempt_pairs: Set[frozenset] = field(default_factory=set)
+    forced_spacing_pairs: Set[frozenset] = field(default_factory=set)
 
 
 @dataclass
@@ -161,6 +177,22 @@ class NetVars:
 
 
 @dataclass
+class SpacingPairVars:
+    """Decision variables of one pairwise non-overlap disjunction.
+
+    Kept on the build result so warm starts can reconstruct consistent
+    selector/slack values for a known geometric arrangement.
+    """
+
+    first: "_Block"
+    second: "_Block"
+    selectors: List[Variable]
+    slack_h: Optional[Variable] = None
+    slack_v: Optional[Variable] = None
+    big_m: float = 0.0
+
+
+@dataclass
 class BuildResult:
     """The assembled model plus everything needed to read a layout back."""
 
@@ -173,6 +205,7 @@ class BuildResult:
     max_bend_var: Optional[Variable] = None
     max_length_slack_var: Optional[Variable] = None
     num_spacing_pairs: int = 0
+    spacing_pairs: List[SpacingPairVars] = field(default_factory=list)
 
     # -- solution extraction -------------------------------------------------- #
 
@@ -272,6 +305,19 @@ class _Block:
     device_name: str = ""
     #: Conservative static bounds used for pair pruning (None = unbounded).
     static_bounds: Optional[Rect] = None
+    #: Lazily lowered edge expressions for the batched spacing-pair path.
+    _lowered: Optional[Tuple[ColumnExpr, ColumnExpr, ColumnExpr, ColumnExpr]] = None
+
+    def lowered_edges(self) -> Tuple[ColumnExpr, ColumnExpr, ColumnExpr, ColumnExpr]:
+        """Return ``(xl, xr, yl, yu)`` pre-lowered to column/coefficient form."""
+        if self._lowered is None:
+            self._lowered = (
+                ColumnExpr.lower(self.xl),
+                ColumnExpr.lower(self.xr),
+                ColumnExpr.lower(self.yl),
+                ColumnExpr.lower(self.yu),
+            )
+        return self._lowered
 
 
 # --------------------------------------------------------------------------- #
@@ -307,6 +353,7 @@ class RficModelBuilder:
         self._blocks: List[_Block] = []
         self._overlap_slacks: List[Variable] = []
         self._num_pairs = 0
+        self._spacing_pairs: List[SpacingPairVars] = []
 
     # ------------------------------------------------------------------ #
     # public API
@@ -332,6 +379,7 @@ class RficModelBuilder:
             max_bend_var=max_bend,
             max_length_slack_var=max_slack,
             num_spacing_pairs=self._num_pairs,
+            spacing_pairs=self._spacing_pairs,
         )
 
     # ------------------------------------------------------------------ #
@@ -626,14 +674,30 @@ class RficModelBuilder:
         box_yu = model.add_continuous(
             f"{prefix}.box_yu", lb=-slack_extent, ub=area.height + slack_extent
         )
-        model.add_constraint(box_xl <= x_a - margin, name=f"{prefix}.box_xl_a")
-        model.add_constraint(box_xl <= x_b - margin, name=f"{prefix}.box_xl_b")
-        model.add_constraint(box_xr >= x_a + margin, name=f"{prefix}.box_xr_a")
-        model.add_constraint(box_xr >= x_b + margin, name=f"{prefix}.box_xr_b")
-        model.add_constraint(box_yl <= y_a - margin, name=f"{prefix}.box_yl_a")
-        model.add_constraint(box_yl <= y_b - margin, name=f"{prefix}.box_yl_b")
-        model.add_constraint(box_yu >= y_a + margin, name=f"{prefix}.box_yu_a")
-        model.add_constraint(box_yu >= y_b + margin, name=f"{prefix}.box_yu_b")
+        # Cover rows emitted through the batched fast path: box <= point -+
+        # margin per coordinate and chain point.
+        cover = ConstraintBatch()
+        for side, point, sign, tag in (
+            (box_xl, x_a, -1.0, "box_xl_a"),
+            (box_xl, x_b, -1.0, "box_xl_b"),
+            (box_xr, x_a, 1.0, "box_xr_a"),
+            (box_xr, x_b, 1.0, "box_xr_b"),
+            (box_yl, y_a, -1.0, "box_yl_a"),
+            (box_yl, y_b, -1.0, "box_yl_b"),
+            (box_yu, y_a, 1.0, "box_yu_a"),
+            (box_yu, y_b, 1.0, "box_yu_b"),
+        ):
+            if sign < 0:
+                # box_min <= point - margin
+                cover.add_le(
+                    -margin, [(side, 1.0), (point, -1.0)], name=f"{prefix}.{tag}"
+                )
+            else:
+                # box_max >= point + margin
+                cover.add_ge(
+                    margin, [(side, 1.0), (point, -1.0)], name=f"{prefix}.{tag}"
+                )
+        model.add_linear_batch(cover)
 
         return SegmentVars(
             net_name=net.name,
@@ -650,24 +714,16 @@ class RficModelBuilder:
         self, net: MicrostripNet, segments: Sequence[SegmentVars]
     ) -> None:
         """Equations (2)-(5): a segment may not fold back onto its predecessor."""
+        batch = ConstraintBatch()
         for previous, current in zip(segments, segments[1:]):
             prefix = f"net[{net.name}].rev[{previous.index}]"
-            self.model.add_constraint(
-                previous.directions["u"] + current.directions["d"] <= 1,
-                name=f"{prefix}.ud",
-            )
-            self.model.add_constraint(
-                previous.directions["d"] + current.directions["u"] <= 1,
-                name=f"{prefix}.du",
-            )
-            self.model.add_constraint(
-                previous.directions["l"] + current.directions["r"] <= 1,
-                name=f"{prefix}.lr",
-            )
-            self.model.add_constraint(
-                previous.directions["r"] + current.directions["l"] <= 1,
-                name=f"{prefix}.rl",
-            )
+            for a, b in (("u", "d"), ("d", "u"), ("l", "r"), ("r", "l")):
+                batch.add_le(
+                    1.0,
+                    [(previous.directions[a], 1.0), (current.directions[b], 1.0)],
+                    name=f"{prefix}.{a}{b}",
+                )
+        self.model.add_linear_batch(batch)
 
     def _build_bends(
         self, net: MicrostripNet, segments: Sequence[SegmentVars]
@@ -675,6 +731,7 @@ class RficModelBuilder:
         """Equations (8)-(10): bend indicators at the interior chain points."""
         model = self.model
         bend_vars: List[Variable] = []
+        batch = ConstraintBatch()
         for previous, current in zip(segments, segments[1:]):
             prefix = f"net[{net.name}].bend[{current.index}]"
             t_hv = model.add_binary(f"{prefix}.t_hv")
@@ -683,24 +740,37 @@ class RficModelBuilder:
             u_vh = model.add_binary(f"{prefix}.u_vh")
             bend = model.add_binary(f"{prefix}.t")
 
-            model.add_constraint(
-                previous.directions["r"]
-                + previous.directions["l"]
-                + current.directions["u"]
-                + current.directions["d"]
-                == 2 * t_hv + u_hv,
+            batch.add_eq(
+                0.0,
+                [
+                    (previous.directions["r"], 1.0),
+                    (previous.directions["l"], 1.0),
+                    (current.directions["u"], 1.0),
+                    (current.directions["d"], 1.0),
+                    (t_hv, -2.0),
+                    (u_hv, -1.0),
+                ],
                 name=f"{prefix}.hv",
             )
-            model.add_constraint(
-                previous.directions["u"]
-                + previous.directions["d"]
-                + current.directions["r"]
-                + current.directions["l"]
-                == 2 * t_vh + u_vh,
+            batch.add_eq(
+                0.0,
+                [
+                    (previous.directions["u"], 1.0),
+                    (previous.directions["d"], 1.0),
+                    (current.directions["r"], 1.0),
+                    (current.directions["l"], 1.0),
+                    (t_vh, -2.0),
+                    (u_vh, -1.0),
+                ],
                 name=f"{prefix}.vh",
             )
-            model.add_constraint(bend == t_hv + t_vh, name=f"{prefix}.sum")
+            batch.add_eq(
+                0.0,
+                [(bend, 1.0), (t_hv, -1.0), (t_vh, -1.0)],
+                name=f"{prefix}.sum",
+            )
             bend_vars.append(bend)
+        model.add_linear_batch(batch)
         return bend_vars
 
     # ------------------------------------------------------------------ #
@@ -817,6 +887,8 @@ class RficModelBuilder:
         if frozenset((first.label, second.label)) in self.options.spacing_exempt_pairs:
             return True
         if first.kind == "segment" and second.kind == "segment":
+            if self._pair_forced(first, second):
+                return False
             if first.net_name == second.net_name:
                 if self.options.same_net_spacing:
                     # Adjacent segments always share a chain point.
@@ -828,6 +900,17 @@ class RficModelBuilder:
             device = first if first.kind == "device" else second
             return self._segment_terminates_on_device(segment, device)
         return False
+
+    def _pair_forced(self, first: _Block, second: _Block) -> bool:
+        """Whether this segment pair's spacing exemption has been revoked."""
+        if first.kind != "segment" or second.kind != "segment":
+            return False
+        if first.net_name == second.net_name:
+            return False
+        return (
+            frozenset((first.net_name, second.net_name))
+            in self.options.forced_spacing_pairs
+        )
 
     def _segments_share_terminal(self, first: _Block, second: _Block) -> bool:
         """End segments of two nets meeting at the same device may touch.
@@ -869,8 +952,15 @@ class RficModelBuilder:
         return first.static_bounds.overlaps(second.static_bounds)
 
     def _build_spacing_pairs(self) -> None:
+        """Equations (16)-(20), emitted through the batched fast path.
+
+        This is the hottest constraint family (quadratic in block count);
+        every row is accumulated as COO triplets against pre-lowered block
+        edges and ingested with a single :meth:`Model.add_linear_batch`.
+        """
         model = self.model
         allow_overlap = self.options.allow_overlap
+        batch = ConstraintBatch()
         for first, second in itertools.combinations(self._blocks, 2):
             if self._spacing_exempt(first, second):
                 continue
@@ -880,37 +970,75 @@ class RficModelBuilder:
             prefix = f"pair[{first.label}|{second.label}]"
             pair_m = self._pair_big_m(first, second)
             selectors = [model.add_binary(f"{prefix}.u{k}") for k in range(4)]
-            if allow_overlap:
+            slack_h: Optional[Variable] = None
+            slack_v: Optional[Variable] = None
+            slack_h_terms: List[Tuple[Variable, float]] = []
+            slack_v_terms: List[Tuple[Variable, float]] = []
+            # Forced (exemption-revoked) pairs are always soft: their
+            # segments legitimately meet at a shared pin, so hard
+            # separation could be infeasible — the penalised slack merely
+            # pushes the crossing apart as far as the geometry allows.
+            if allow_overlap or self._pair_forced(first, second):
                 slack_h = model.add_continuous(f"{prefix}.dh", lb=0.0, ub=self.big_m)
                 slack_v = model.add_continuous(f"{prefix}.dv", lb=0.0, ub=self.big_m)
                 self._overlap_slacks.extend([slack_h, slack_v])
-                slack_h_expr: LinExpr = LinExpr.from_value(slack_h)
-                slack_v_expr: LinExpr = LinExpr.from_value(slack_v)
-            else:
-                slack_h_expr = LinExpr({}, 0.0)
-                slack_v_expr = LinExpr({}, 0.0)
+                slack_h_terms = [(slack_h, -1.0)]
+                slack_v_terms = [(slack_v, -1.0)]
 
-            # Equations (16)-(19) with the optional Phase-1 overlap slack.
-            model.add_constraint(
-                first.xr <= second.xl + pair_m * selectors[0] + slack_h_expr,
+            first_xl, first_xr, first_yl, first_yu = first.lowered_edges()
+            second_xl, second_xr, second_yl, second_yu = second.lowered_edges()
+
+            # Equations (16)-(19) with the optional Phase-1 overlap slack:
+            # each row reads ``edge_a - edge_b - M u_k - slack <= 0``.
+            batch.add_le(
+                0.0,
+                first_xr,
+                ColumnExpr.lower(second_xl, -1.0),
+                [(selectors[0], -pair_m)],
+                slack_h_terms,
                 name=f"{prefix}.left_of",
             )
-            model.add_constraint(
-                second.yu <= first.yl + pair_m * selectors[1] + slack_v_expr,
+            batch.add_le(
+                0.0,
+                second_yu,
+                ColumnExpr.lower(first_yl, -1.0),
+                [(selectors[1], -pair_m)],
+                slack_v_terms,
                 name=f"{prefix}.below",
             )
-            model.add_constraint(
-                second.xr <= first.xl + pair_m * selectors[2] + slack_h_expr,
+            batch.add_le(
+                0.0,
+                second_xr,
+                ColumnExpr.lower(first_xl, -1.0),
+                [(selectors[2], -pair_m)],
+                slack_h_terms,
                 name=f"{prefix}.right_of",
             )
-            model.add_constraint(
-                first.yu <= second.yl + pair_m * selectors[3] + slack_v_expr,
+            batch.add_le(
+                0.0,
+                first_yu,
+                ColumnExpr.lower(second_yl, -1.0),
+                [(selectors[3], -pair_m)],
+                slack_v_terms,
                 name=f"{prefix}.above",
             )
             # Equation (20): at least one separation direction must hold.
-            model.add_constraint(
-                LinExpr.sum(selectors) <= 3, name=f"{prefix}.disjunction"
+            batch.add_le(
+                3.0,
+                [(selector, 1.0) for selector in selectors],
+                name=f"{prefix}.disjunction",
             )
+            self._spacing_pairs.append(
+                SpacingPairVars(
+                    first=first,
+                    second=second,
+                    selectors=selectors,
+                    slack_h=slack_h,
+                    slack_v=slack_v,
+                    big_m=pair_m,
+                )
+            )
+        model.add_linear_batch(batch)
 
     def _pair_big_m(self, first: _Block, second: _Block) -> float:
         """Tightest safe big-M for a pair's disjunctive separation constraints.
@@ -947,7 +1075,7 @@ class RficModelBuilder:
             model.add_constraint(
                 max_bend >= net_vars.bend_count, name=f"obj.max_bends>={net_vars.name}"
             )
-            total_bends = total_bends + net_vars.bend_count
+            total_bends += net_vars.bend_count
 
         objective = weights.alpha * max_bend + weights.beta * total_bends
 
@@ -962,11 +1090,11 @@ class RficModelBuilder:
                     max_slack >= net_vars.length_slack,
                     name=f"obj.max_slack>={net_vars.name}",
                 )
-                total_slack = total_slack + net_vars.length_slack
+                total_slack += net_vars.length_slack
             objective = objective + weights.gamma * max_slack + weights.zeta * total_slack
 
         if self._overlap_slacks:
-            objective = objective + weights.eta * LinExpr.sum(self._overlap_slacks)
+            objective = objective + weights.eta * lin_sum(self._overlap_slacks)
 
         model.set_objective(objective, sense="min")
         return max_bend, max_slack

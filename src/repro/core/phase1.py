@@ -24,6 +24,7 @@ from repro.core.config import PILPConfig
 from repro.core.model_builder import BuildOptions, RficModelBuilder
 from repro.core.result import PhaseResult
 from repro.core.seed import seed_placement, spread_boundary_pads
+from repro.core.warm_start import solve_phase_model, warm_start_from_seeds
 from repro.core.windows import mean_device_extent, window_around
 from repro.geometry.rect import Rect
 
@@ -49,7 +50,14 @@ def run_phase1(
     start = time.perf_counter()
 
     reservation = config.blur_margin_factor * mean_device_extent(netlist)
-    device_windows, chain_windows = _phase1_windows(netlist, config)
+    # The force-directed seed placement feeds both the guided windows and
+    # the warm start; compute it once.
+    seeds = None
+    if config.guided_phase1 or config.phase1.warm_start:
+        seeds = spread_boundary_pads(
+            seed_placement(netlist, config.random_seed), netlist
+        )
+    device_windows, chain_windows = _phase1_windows(netlist, config, seeds)
     options = BuildOptions(
         blurred_devices=True,
         exact_lengths=False,
@@ -66,11 +74,10 @@ def run_phase1(
     builder = RficModelBuilder(netlist, config, options, name=f"phase1[{netlist.name}]")
     build = builder.build()
     settings = config.phase1
-    solution = build.model.solve(
-        backend=settings.backend,
-        time_limit=settings.time_limit,
-        mip_gap=settings.mip_gap,
-    )
+    warm_values = None
+    if settings.warm_start and seeds is not None:
+        warm_values = warm_start_from_seeds(build, seeds)
+    solution = solve_phase_model(build, settings, warm_values)
     runtime = time.perf_counter() - start
     if not solution.is_feasible:
         raise InfeasibleModelError(
@@ -100,7 +107,7 @@ def run_phase1(
 
 
 def _phase1_windows(
-    netlist: Netlist, config: PILPConfig
+    netlist: Netlist, config: PILPConfig, seeds: Optional[Dict] = None
 ) -> Tuple[Dict[str, Rect], Dict[Tuple[str, int], Rect]]:
     """Confinement corridors for the guided Phase-1 model.
 
@@ -109,11 +116,15 @@ def _phase1_windows(
     confined to a ``phase1_window`` box around its seed position, and every
     chain point of a net to the bounding corridor spanned by its two terminal
     seeds (so detours remain possible anywhere between the terminals).
+    ``seeds`` lets the caller share an already-computed seed placement.
     """
     if not config.guided_phase1:
         return {}, {}
     tau = config.phase1_window
-    seeds = spread_boundary_pads(seed_placement(netlist, config.random_seed), netlist)
+    if seeds is None:
+        seeds = spread_boundary_pads(
+            seed_placement(netlist, config.random_seed), netlist
+        )
 
     device_windows: Dict[str, Rect] = {
         name: window_around(point, tau) for name, point in seeds.items()

@@ -26,6 +26,7 @@ from repro.core.config import PILPConfig
 from repro.core.model_builder import BuildOptions, RficModelBuilder
 from repro.core.result import PhaseResult
 from repro.core.seed import relax_seed_overlaps
+from repro.core.warm_start import solve_phase_model, warm_start_from_geometry
 from repro.core.windows import (
     chain_point_counts,
     chain_positions_from_layout,
@@ -55,7 +56,7 @@ def run_phase2(
 
     tau = config.confinement_window
     positions = chain_positions_from_layout(phase1_layout)
-    device_windows, chain_windows = _phase2_windows(
+    device_windows, chain_windows, relaxed_points = _phase2_windows(
         netlist, phase1_layout, positions, tau
     )
     options = BuildOptions(
@@ -71,11 +72,16 @@ def run_phase2(
     builder = RficModelBuilder(netlist, config, options, name=f"phase2[{netlist.name}]")
     build = builder.build()
     settings = config.phase2
-    solution = build.model.solve(
-        backend=settings.backend,
-        time_limit=settings.time_limit,
-        mip_gap=settings.mip_gap,
-    )
+    warm_values = None
+    if settings.warm_start:
+        # Seed from the legalised Phase-1 geometry: device points pushed
+        # apart until their real outlines clear, chain points as routed.
+        warm_values = warm_start_from_geometry(
+            build,
+            relaxed_points,
+            {name: list(points) for name, points in positions.items()},
+        )
+    solution = solve_phase_model(build, settings, warm_values)
     runtime = time.perf_counter() - start
     if not solution.is_feasible:
         raise InfeasibleModelError(
@@ -109,7 +115,7 @@ def _phase2_windows(
     phase1_layout: Layout,
     positions: Dict[str, list],
     tau: float,
-) -> Tuple[Dict[str, Rect], Dict[Tuple[str, int], Rect]]:
+) -> Tuple[Dict[str, Rect], Dict[Tuple[str, int], Rect], Dict[str, Point]]:
     """Confinement windows for Phase 2, centred on legalised device points.
 
     Phase 1 treats devices as points, so several of them routinely end up
@@ -145,4 +151,4 @@ def _phase2_windows(
             chain_windows[(net_name, index)] = window_around(
                 Point(point.x, point.y), tau + slack
             )
-    return device_windows, chain_windows
+    return device_windows, chain_windows, relaxed

@@ -22,7 +22,7 @@ the soft model if that turns out to be infeasible within its window.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import InfeasibleModelError
@@ -30,6 +30,7 @@ from repro.circuit.netlist import Netlist
 from repro.core.config import PILPConfig
 from repro.core.model_builder import BuildOptions, RficModelBuilder
 from repro.core.result import PhaseResult
+from repro.core.warm_start import solve_phase_model, warm_start_from_geometry
 from repro.core.windows import (
     chain_windows_from_positions,
     device_windows_from_layout,
@@ -57,6 +58,9 @@ class RefinementPlan:
     deleted_points: Dict[str, int]
     rotatable_devices: Set[str]
     use_exact_lengths: bool
+    #: Net pairs whose centre lines were found crossing; their spacing
+    #: exemption is revoked (softly) so the overlap penalty untangles them.
+    forced_spacing_pairs: Set[frozenset] = field(default_factory=set)
 
 
 def plan_refinement(
@@ -111,6 +115,7 @@ def plan_refinement(
         deleted_points=deleted,
         rotatable_devices=rotatable,
         use_exact_lengths=use_exact,
+        forced_spacing_pairs=_crossing_net_pairs(drc_report),
     )
 
 
@@ -161,17 +166,24 @@ def run_phase3_iteration(
         rotatable_devices=set(plan.rotatable_devices),
         fixed_rotations=fixed_rotations,
         same_net_spacing=config.same_net_spacing,
+        forced_spacing_pairs=set(plan.forced_spacing_pairs),
     )
     builder = RficModelBuilder(
         netlist, escalated, options, name=f"phase3[{netlist.name}][{iteration}]"
     )
     build = builder.build()
     settings = config.phase3
-    solution = build.model.solve(
-        backend=settings.backend,
-        time_limit=settings.time_limit,
-        mip_gap=settings.mip_gap,
-    )
+    warm_values = None
+    if settings.warm_start:
+        # Seed from the current layout with the planned chain points (which
+        # already reflect this iteration's deletions and insertions).
+        warm_values = warm_start_from_geometry(
+            build,
+            {p.device_name: p.center for p in layout.placements},
+            {name: list(points) for name, points in plan.chain_positions.items()},
+            rotations=fixed_rotations,
+        )
+    solution = solve_phase_model(build, settings, warm_values)
 
     if not solution.is_feasible and plan.use_exact_lengths:
         # The hard-length model can be infeasible inside the current windows;
@@ -182,6 +194,7 @@ def run_phase3_iteration(
             deleted_points=plan.deleted_points,
             rotatable_devices=plan.rotatable_devices,
             use_exact_lengths=False,
+            forced_spacing_pairs=plan.forced_spacing_pairs,
         )
         return run_phase3_iteration(netlist, layout, config, iteration, fallback_plan)
 
@@ -237,7 +250,13 @@ def run_phase3(
         plan = plan_refinement(
             netlist, current, config, drc_report=report, allow_exact=True
         )
-        result = run_phase3_iteration(netlist, current, config, iteration, plan)
+        try:
+            result = run_phase3_iteration(netlist, current, config, iteration, plan)
+        except InfeasibleModelError:
+            # Refinement is best-effort: an iteration whose solver budget
+            # expires without any incumbent must not discard the complete
+            # layout the earlier phases already produced.
+            break
         results.append(result)
         current = result.layout
 
@@ -284,6 +303,17 @@ def _nets_with_drc_problems(report: DRCReport) -> Set[str]:
                 # net name as their subject.
                 nets.add(label)
     return nets
+
+
+def _crossing_net_pairs(report: DRCReport) -> Set[frozenset]:
+    """Pairs of net names whose centre lines cross in the current layout."""
+    from repro.layout.drc import ViolationKind
+
+    pairs: Set[frozenset] = set()
+    for violation in report.violations:
+        if violation.kind is ViolationKind.CROSSING and violation.other:
+            pairs.add(frozenset((violation.subject, violation.other)))
+    return pairs
 
 
 def _devices_with_drc_problems(report: DRCReport) -> Set[str]:

@@ -20,12 +20,14 @@ Quick example
 'optimal'
 """
 
+from repro.ilp.compile import ColumnExpr, ConstraintBatch
 from repro.ilp.expr import (
     Constraint,
     LinExpr,
     Sense,
     Variable,
     VarType,
+    lin_sum,
     quicksum,
 )
 from repro.ilp.linearize import (
@@ -52,6 +54,9 @@ __all__ = [
     "Constraint",
     "Sense",
     "quicksum",
+    "lin_sum",
+    "ColumnExpr",
+    "ConstraintBatch",
     "Solution",
     "SolveStatus",
     "get_backend",

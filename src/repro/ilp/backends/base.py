@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Union
 
 import numpy as np
 
@@ -31,9 +31,15 @@ class SolverBackend(abc.ABC):
         model: "Model",
         time_limit: float | None = None,
         mip_gap: float | None = None,
+        warm_start: Mapping[Union[Variable, str], float] | None = None,
         **options,
     ) -> Solution:
-        """Solve ``model`` and return a :class:`Solution`."""
+        """Solve ``model`` and return a :class:`Solution`.
+
+        ``warm_start`` maps variables (or variable names) to suggested
+        values; backends that cannot exploit it must still accept and ignore
+        it.
+        """
 
     # ------------------------------------------------------------------ #
     # shared utilities
@@ -62,3 +68,45 @@ class SolverBackend(abc.ABC):
         """Evaluate the (sign-corrected) objective for a raw vector."""
         value = float(form.objective @ x) + form.objective_constant
         return value
+
+    @staticmethod
+    def warm_start_vector(
+        form: "StandardForm",
+        warm_start: Mapping[Union[Variable, str], float],
+    ) -> Optional[np.ndarray]:
+        """Build a full solution vector from a (possibly partial) warm start.
+
+        Keys may be :class:`Variable` objects of this model or plain variable
+        names; names that do not exist in the model are silently skipped so a
+        previous phase's solution can be replayed onto a related model.
+        Missing variables default to the bound-clamped zero, every provided
+        value is clamped into its variable's bounds, and integer variables
+        are rounded.  Returns ``None`` when nothing matched.
+        """
+        import collections.abc
+
+        from repro.errors import SolverError
+
+        if not isinstance(warm_start, collections.abc.Mapping):
+            raise SolverError(
+                "warm_start must map variables (or variable names) to values, "
+                f"got {type(warm_start).__name__}"
+            )
+        by_name = {var.name: index for index, var in enumerate(form.variables)}
+        x = np.clip(np.zeros(len(form.variables)), form.lower, form.upper)
+        matched = 0
+        for key, value in warm_start.items():
+            if isinstance(key, Variable):
+                index = by_name.get(key.name)
+            else:
+                index = by_name.get(str(key))
+            if index is None:
+                continue
+            x[index] = float(value)
+            matched += 1
+        if matched == 0:
+            return None
+        x = np.clip(x, form.lower, form.upper)
+        integer_mask = form.integrality != 0
+        x[integer_mask] = np.round(x[integer_mask])
+        return x

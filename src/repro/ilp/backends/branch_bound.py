@@ -13,10 +13,21 @@ This backend exists for two reasons:
 
 The implementation is a classic best-first branch-and-bound with
 most-fractional branching, bound-based pruning, optional time limits and a
-simple rounding heuristic to obtain early incumbents.  It is not meant to be
-competitive with HiGHS on the large Phase-1 models — the progressive flow
-uses the HiGHS backend by default — but it solves the unit-test sized models
-in milliseconds and medium models in seconds.
+simple rounding heuristic to obtain early incumbents.  Performance details
+worth knowing:
+
+* every node's LP relaxation is solved exactly once — when the node is
+  created — and the solution is carried on the node, so popping a node never
+  re-solves its LP;
+* a caller-provided warm start is rounded and repaired into an initial
+  incumbent before the search begins, which both prunes the tree and
+  guarantees the progressive flow a feasible fallback;
+* the node ordering is fully deterministic: ties in the LP bound are broken
+  by node creation sequence, so identical models explore identical trees.
+
+It is not meant to be competitive with HiGHS on the large Phase-1 models —
+the progressive flow uses the HiGHS backend by default — but it solves the
+unit-test sized models in milliseconds and medium models in seconds.
 """
 
 from __future__ import annotations
@@ -26,12 +37,13 @@ import itertools
 import math
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 from scipy import optimize
 
 from repro.ilp.backends.base import SolverBackend
+from repro.ilp.expr import Variable
 from repro.ilp.solution import Solution, SolveStatus
 
 #: Integrality tolerance: an LP value within this distance of an integer is
@@ -44,12 +56,18 @@ _BOUND_TOL = 1.0e-9
 
 @dataclass(order=True)
 class _Node:
-    """A subproblem in the branch-and-bound tree, ordered by its LP bound."""
+    """A subproblem in the branch-and-bound tree.
+
+    Ordering is ``(bound, sequence)``: best-first on the LP bound with the
+    creation sequence as a deterministic tie-break, so runs are reproducible
+    node-for-node.
+    """
 
     bound: float
     sequence: int
     lower: np.ndarray = field(compare=False)
     upper: np.ndarray = field(compare=False)
+    x: np.ndarray = field(compare=False)
     depth: int = field(compare=False, default=0)
 
 
@@ -73,6 +91,7 @@ class BranchAndBoundBackend(SolverBackend):
         model,
         time_limit: float | None = None,
         mip_gap: float | None = None,
+        warm_start: Mapping[Union[Variable, str], float] | None = None,
         **options,
     ) -> Solution:
         max_nodes = int(options.pop("max_nodes", self.max_nodes))
@@ -85,6 +104,7 @@ class BranchAndBoundBackend(SolverBackend):
 
         form = model.to_standard_form()
         start = time.perf_counter()
+        deadline = start + time_limit if time_limit is not None else None
 
         if form.num_variables == 0:
             return Solution(
@@ -108,28 +128,51 @@ class BranchAndBoundBackend(SolverBackend):
         best_bound = -math.inf
         proven_infeasible = False
 
+        # Seed the incumbent from a caller-provided warm start: round its
+        # integer components, fix them, and let the LP repair the rest.
+        if warm_start is not None:
+            vector = self.warm_start_vector(form, warm_start)
+            if vector is not None:
+                seeded = self._round_and_check(
+                    form, objective, vector, integer_indices, deadline
+                )
+                if seeded is not None:
+                    incumbent_value, incumbent_x = seeded
+
         counter = itertools.count()
         heap: List[_Node] = []
 
-        root_result = self._solve_lp(objective, form, root_lower, root_upper)
-        if root_result is None:
-            proven_infeasible = True
-        else:
-            root_bound, root_x = root_result
-            best_bound = root_bound
-            heapq.heappush(
-                heap, _Node(root_bound, next(counter), root_lower, root_upper, 0)
-            )
-            if self.rounding_heuristic:
-                rounded = self._round_and_check(form, objective, root_x, integer_indices)
-                if rounded is not None:
-                    incumbent_value, incumbent_x = rounded
+        def deadline_expired() -> bool:
+            # A failed LP right at the budget boundary is a timeout, not a
+            # proof of infeasibility (linprog may stop on its own
+            # time_limit slightly before our clock does).
+            return deadline is not None and time.perf_counter() > deadline - 0.1
 
         nodes_explored = 0
         hit_limit = False
 
+        root_result = self._solve_lp(objective, form, root_lower, root_upper, deadline)
+        if root_result is None:
+            if deadline_expired():
+                hit_limit = True
+            else:
+                proven_infeasible = True
+        else:
+            root_bound, root_x = root_result
+            best_bound = root_bound
+            heapq.heappush(
+                heap,
+                _Node(root_bound, next(counter), root_lower, root_upper, root_x, 0),
+            )
+            if self.rounding_heuristic:
+                rounded = self._round_and_check(
+                    form, objective, root_x, integer_indices, deadline
+                )
+                if rounded is not None and rounded[0] < incumbent_value:
+                    incumbent_value, incumbent_x = rounded
+
         while heap:
-            if time_limit is not None and time.perf_counter() - start > time_limit:
+            if deadline is not None and time.perf_counter() > deadline:
                 hit_limit = True
                 break
             if nodes_explored >= max_nodes:
@@ -147,24 +190,22 @@ class BranchAndBoundBackend(SolverBackend):
                 if gap <= mip_gap:
                     break
 
-            result = self._solve_lp(objective, form, node.lower, node.upper)
+            # The node's LP was solved when it was created; reuse it.
             nodes_explored += 1
-            if result is None:
-                continue
-            bound, x = result
-            if bound >= incumbent_value - _BOUND_TOL:
-                continue
+            x = node.x
 
             branch_index = self._most_fractional(x, integer_indices)
             if branch_index is None:
                 # Integral solution: new incumbent.
-                if bound < incumbent_value:
-                    incumbent_value = bound
+                if node.bound < incumbent_value:
+                    incumbent_value = node.bound
                     incumbent_x = x
                 continue
 
             if self.rounding_heuristic and node.depth % 4 == 0:
-                rounded = self._round_and_check(form, objective, x, integer_indices)
+                rounded = self._round_and_check(
+                    form, objective, x, integer_indices, deadline
+                )
                 if rounded is not None and rounded[0] < incumbent_value:
                     incumbent_value, incumbent_x = rounded
 
@@ -182,8 +223,16 @@ class BranchAndBoundBackend(SolverBackend):
             for child_lower, child_upper in ((down_lower, down_upper), (up_lower, up_upper)):
                 if child_lower[branch_index] > child_upper[branch_index]:
                     continue
-                child_result = self._solve_lp(objective, form, child_lower, child_upper)
+                child_result = self._solve_lp(
+                    objective, form, child_lower, child_upper, deadline
+                )
                 if child_result is None:
+                    if deadline_expired():
+                        # Don't treat a timed-out child LP as pruned: its
+                        # subtree was never bounded, so optimality can no
+                        # longer be claimed.
+                        hit_limit = True
+                        break
                     continue
                 child_bound, child_x = child_result
                 if child_bound >= incumbent_value - _BOUND_TOL:
@@ -195,8 +244,17 @@ class BranchAndBoundBackend(SolverBackend):
                     continue
                 heapq.heappush(
                     heap,
-                    _Node(child_bound, next(counter), child_lower, child_upper, node.depth + 1),
+                    _Node(
+                        child_bound,
+                        next(counter),
+                        child_lower,
+                        child_upper,
+                        child_x,
+                        node.depth + 1,
+                    ),
                 )
+            if hit_limit:
+                break
 
         elapsed = time.perf_counter() - start
 
@@ -246,11 +304,19 @@ class BranchAndBoundBackend(SolverBackend):
         form,
         lower: np.ndarray,
         upper: np.ndarray,
+        deadline: Optional[float] = None,
     ) -> Optional[Tuple[float, np.ndarray]]:
         """Solve the LP relaxation over the given bounds.
 
-        Returns ``(objective_value, x)`` or ``None`` when infeasible.
+        Returns ``(objective_value, x)`` or ``None`` when infeasible (or when
+        the deadline has already passed).
         """
+        lp_options = {}
+        if deadline is not None:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                return None
+            lp_options["time_limit"] = max(0.05, remaining)
         bounds = np.column_stack([lower, upper])
         result = optimize.linprog(
             c=objective,
@@ -260,6 +326,7 @@ class BranchAndBoundBackend(SolverBackend):
             b_eq=form.b_eq if form.a_eq.shape[0] else None,
             bounds=bounds,
             method="highs",
+            options=lp_options,
         )
         if not result.success:
             return None
@@ -284,11 +351,17 @@ class BranchAndBoundBackend(SolverBackend):
         objective: np.ndarray,
         x: np.ndarray,
         integer_indices: np.ndarray,
+        deadline: Optional[float] = None,
     ) -> Optional[Tuple[float, np.ndarray]]:
         """Try rounding the LP solution; re-solve the LP with integers fixed.
 
-        Returns ``(objective, x)`` of a feasible integral solution or ``None``.
+        Returns ``(objective, x)`` of a feasible integral solution or
+        ``None``.  The time limit is honoured *inside* the heuristic: when
+        the deadline has passed the heuristic LP is skipped entirely rather
+        than blowing the budget between node checks.
         """
+        if deadline is not None and time.perf_counter() > deadline:
+            return None
         if integer_indices.size == 0:
             return float(objective @ x), x
         lower = form.lower.copy()
@@ -298,7 +371,7 @@ class BranchAndBoundBackend(SolverBackend):
         upper[integer_indices] = np.minimum(rounded, form.upper[integer_indices])
         if np.any(lower > upper):
             return None
-        result = self._solve_lp(objective, form, lower, upper)
+        result = self._solve_lp(objective, form, lower, upper, deadline)
         if result is None:
             return None
         return result

@@ -2,21 +2,64 @@
 
 This is the default backend.  SciPy ships the open-source HiGHS solver, which
 plays the role that Gurobi played in the original paper: an exact
-branch-and-cut MILP solver.  The backend translates the model's standard form
-into SciPy's ``LinearConstraint``/``Bounds`` objects, forwards time-limit and
-gap options, and converts the result back into a :class:`Solution`.
+branch-and-cut MILP solver.  Cold solves go through ``scipy.optimize.milp``
+exactly as before.
+
+Two fast-path features additionally drive HiGHS through the *bundled* binding
+(``scipy.optimize._highspy``), because SciPy's public ``milp`` wrapper cannot
+express them:
+
+* **warm starts** — a (possibly partial) incumbent from a previous, related
+  solve is injected with ``Highs.setSolution`` so the MIP search starts from
+  a good primal bound instead of hunting for a first feasible point, and
+* **progressive solves** — the time budget is split into slices; after each
+  slice the incumbent is carried into the next as a warm start, and the solve
+  stops early once an additional slice no longer improves the incumbent
+  meaningfully.  The soft phase models of the progressive flow have a
+  structurally weak LP bound (their big-M relaxation bounds the objective by
+  zero), so the MIP gap criterion never fires and the stall criterion is what
+  actually ends the solve.
+
+When the bundled binding is unavailable the backend silently degrades to the
+plain ``milp`` path; warm starts are then ignored.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Mapping, Optional, Tuple, Union
 
 import numpy as np
 from scipy import optimize, sparse
 
 from repro.errors import SolverError
 from repro.ilp.backends.base import SolverBackend
+from repro.ilp.expr import Variable
 from repro.ilp.solution import Solution, SolveStatus
+
+#: Default number of budget slices of a progressive solve.
+DEFAULT_PROGRESSIVE_SLICES = 4
+
+#: A slice must improve the incumbent by this relative amount for the
+#: progressive solve to keep going.
+DEFAULT_MIN_IMPROVEMENT = 0.01
+
+
+def _highspy_core():
+    """Return SciPy's bundled HiGHS binding, or ``None`` if unavailable."""
+    try:  # pragma: no cover - exercised indirectly
+        import scipy.optimize._highspy._core as core
+
+        # The private binding has changed names across SciPy releases; only
+        # use it when everything the warm-start path needs is present.
+        required = ("HighsLp", "HighsOptions", "HighsSolution", "MatrixFormat")
+        if not all(hasattr(core, name) for name in required):
+            return None
+        if not (hasattr(core, "_Highs") or hasattr(core, "Highs")):
+            return None
+        return core
+    except Exception:  # pragma: no cover - defensive
+        return None
 
 
 class HighsBackend(SolverBackend):
@@ -29,6 +72,7 @@ class HighsBackend(SolverBackend):
         model,
         time_limit: float | None = None,
         mip_gap: float | None = None,
+        warm_start: Mapping[Union[Variable, str], float] | None = None,
         **options,
     ) -> Solution:
         form = model.to_standard_form()
@@ -44,6 +88,67 @@ class HighsBackend(SolverBackend):
                 backend=self.name,
             )
 
+        display = bool(options.pop("display", False))
+        node_limit = options.pop("node_limit", None)
+        presolve = options.pop("presolve", None)
+        progressive = options.pop("progressive", None)
+        slices = int(options.pop("progressive_slices", DEFAULT_PROGRESSIVE_SLICES))
+        min_improvement = float(
+            options.pop("min_improvement", DEFAULT_MIN_IMPROVEMENT)
+        )
+        if options:
+            raise SolverError(
+                f"unknown options for the HiGHS backend: {sorted(options)}"
+            )
+
+        warm_vector = None
+        if warm_start is not None:
+            warm_vector = self.warm_start_vector(form, warm_start)
+
+        core = _highspy_core()
+        is_mip = int(np.count_nonzero(form.integrality)) > 0
+        use_direct = core is not None and is_mip and (
+            warm_vector is not None or bool(progressive)
+        )
+        if use_direct:
+            return self._solve_direct(
+                core,
+                form,
+                start,
+                time_limit=time_limit,
+                mip_gap=mip_gap,
+                warm_vector=warm_vector,
+                display=display,
+                presolve=presolve,
+                node_limit=node_limit,
+                progressive=bool(progressive),
+                slices=max(1, slices),
+                min_improvement=min_improvement,
+            )
+        return self._solve_scipy(
+            form,
+            start,
+            time_limit=time_limit,
+            mip_gap=mip_gap,
+            display=display,
+            node_limit=node_limit,
+            presolve=presolve,
+        )
+
+    # ------------------------------------------------------------------ #
+    # the classic scipy.optimize.milp path (cold solves)
+    # ------------------------------------------------------------------ #
+
+    def _solve_scipy(
+        self,
+        form,
+        start: float,
+        time_limit,
+        mip_gap,
+        display: bool,
+        node_limit,
+        presolve,
+    ) -> Solution:
         objective = form.objective.copy()
         if form.maximize:
             objective = -objective
@@ -62,21 +167,15 @@ class HighsBackend(SolverBackend):
 
         bounds = optimize.Bounds(form.lower, form.upper)
 
-        milp_options = {"disp": bool(options.pop("display", False))}
+        milp_options = {"disp": display}
         if time_limit is not None:
             milp_options["time_limit"] = float(time_limit)
         if mip_gap is not None:
             milp_options["mip_rel_gap"] = float(mip_gap)
-        node_limit = options.pop("node_limit", None)
         if node_limit is not None:
             milp_options["node_limit"] = int(node_limit)
-        presolve = options.pop("presolve", None)
         if presolve is not None:
             milp_options["presolve"] = bool(presolve)
-        if options:
-            raise SolverError(
-                f"unknown options for the HiGHS backend: {sorted(options)}"
-            )
 
         try:
             result = optimize.milp(
@@ -91,6 +190,242 @@ class HighsBackend(SolverBackend):
 
         elapsed = time.perf_counter() - start
         return self._interpret(form, result, elapsed)
+
+    # ------------------------------------------------------------------ #
+    # the direct (warm-started / progressive) path
+    # ------------------------------------------------------------------ #
+
+    def _build_lp(self, core, form):
+        """Lower a StandardForm to a ``HighsLp`` (built once, reused)."""
+        num_ub = form.a_ub.shape[0]
+        num_eq = form.a_eq.shape[0]
+        if num_ub and num_eq:
+            a = sparse.vstack([form.a_ub, form.a_eq], format="csc")
+        elif num_ub:
+            a = form.a_ub.tocsc()
+        else:
+            a = form.a_eq.tocsc()
+        row_lower = np.concatenate(
+            [np.full(num_ub, -core.kHighsInf), form.b_eq]
+        )
+        row_upper = np.concatenate([form.b_ub, form.b_eq])
+
+        objective = form.objective.copy()
+        if form.maximize:
+            objective = -objective
+
+        lp = core.HighsLp()
+        lp.num_col_ = form.num_variables
+        lp.num_row_ = num_ub + num_eq
+        lp.col_cost_ = objective
+        lp.col_lower_ = form.lower
+        lp.col_upper_ = form.upper
+        lp.row_lower_ = row_lower
+        lp.row_upper_ = row_upper
+        lp.a_matrix_.format_ = core.MatrixFormat.kColwise
+        lp.a_matrix_.num_col_ = form.num_variables
+        lp.a_matrix_.num_row_ = num_ub + num_eq
+        lp.a_matrix_.start_ = a.indptr
+        lp.a_matrix_.index_ = a.indices
+        lp.a_matrix_.value_ = a.data
+        lp.integrality_ = [
+            core.HighsVarType.kInteger if flag else core.HighsVarType.kContinuous
+            for flag in form.integrality
+        ]
+        return lp
+
+    def _run_direct_once(
+        self,
+        core,
+        lp,
+        time_limit,
+        mip_gap,
+        warm_vector,
+        display: bool,
+        presolve,
+        node_limit=None,
+    ) -> Tuple[object, Optional[np.ndarray], Optional[float]]:
+        """One HiGHS run; returns ``(model_status, x, gap)``."""
+        highs_cls = getattr(core, "_Highs", None) or getattr(core, "Highs")
+        highs = highs_cls()
+        opts = core.HighsOptions()
+        opts.output_flag = display
+        if time_limit is not None:
+            opts.time_limit = float(time_limit)
+        if mip_gap is not None:
+            opts.mip_rel_gap = float(mip_gap)
+        if presolve is not None:
+            opts.presolve = "on" if presolve else "off"
+        if node_limit is not None:
+            opts.mip_max_nodes = int(node_limit)
+        if highs.passOptions(opts) == core.HighsStatus.kError:
+            raise SolverError("HiGHS rejected the solver options")
+        if highs.passModel(lp) == core.HighsStatus.kError:
+            raise SolverError("HiGHS rejected the model")
+        if warm_vector is not None:
+            sol = core.HighsSolution()
+            sol.col_value = np.asarray(warm_vector, dtype=float)
+            highs.setSolution(sol)
+        if highs.run() == core.HighsStatus.kError:
+            return highs.getModelStatus(), None, None
+
+        status = highs.getModelStatus()
+        info = highs.getInfo()
+        has_solution = np.isfinite(info.objective_function_value)
+        x = None
+        if has_solution:
+            x = np.asarray(highs.getSolution().col_value, dtype=float)
+            if x.size == 0 or not np.all(np.isfinite(x)):
+                x = None
+        gap = getattr(info, "mip_gap", None)
+        gap = float(gap) if gap is not None and np.isfinite(gap) else None
+        return status, x, gap
+
+    def _solve_direct(
+        self,
+        core,
+        form,
+        start: float,
+        time_limit,
+        mip_gap,
+        warm_vector,
+        display: bool,
+        presolve,
+        node_limit,
+        progressive: bool,
+        slices: int,
+        min_improvement: float,
+    ) -> Solution:
+        lp = self._build_lp(core, form)
+        sign = -1.0 if form.maximize else 1.0
+
+        if not progressive or time_limit is None or slices <= 1:
+            status, x, gap = self._run_direct_once(
+                core, lp, time_limit, mip_gap, warm_vector, display, presolve,
+                node_limit,
+            )
+            return self._interpret_direct(
+                core, form, status, x, gap, time.perf_counter() - start
+            )
+
+        # Progressive: spend the budget in slices, warm-starting each from
+        # the best incumbent so far, and stop once a slice stalls.  The
+        # caller-provided warm start is only ever a *seed* — it may be
+        # infeasible, so it never becomes the returned incumbent itself.
+        deadline = start + float(time_limit)
+        slice_budget = float(time_limit) / slices
+        best_x: Optional[np.ndarray] = None
+        best_signed = np.inf
+        last_status, last_gap = None, None
+        used_slices = 0
+        stalled = False
+        while True:
+            remaining = deadline - time.perf_counter()
+            if used_slices > 0 and remaining <= 0.05:
+                break
+            # The first slice always runs, even on a microscopic budget, so
+            # an exhausted clock reports TIME_LIMIT rather than ERROR.
+            budget = min(slice_budget, max(remaining, 0.05))
+            seed = best_x if best_x is not None else warm_vector
+            status, x, gap = self._run_direct_once(
+                core, lp, budget, mip_gap, seed, display, presolve, node_limit
+            )
+            used_slices += 1
+            last_status, last_gap = status, gap
+            if status == core.HighsModelStatus.kInfeasible:
+                # Infeasibility is terminal.
+                return self._interpret_direct(
+                    core, form, status, None, gap, time.perf_counter() - start
+                )
+            if x is None and status not in (
+                core.HighsModelStatus.kTimeLimit,
+                core.HighsModelStatus.kIterationLimit,
+                core.HighsModelStatus.kSolutionLimit,
+            ):
+                # A solver error (not a budget limit) would repeat identically
+                # on every retry — fail now instead of hot-looping until the
+                # deadline.
+                break
+            if x is not None:
+                signed = sign * float(form.objective @ x)
+                improvement = best_signed - signed
+                threshold = min_improvement * max(1.0, abs(best_signed))
+                improved_enough = (
+                    not np.isfinite(best_signed) or improvement > threshold
+                )
+                if signed < best_signed:
+                    best_x, best_signed = x, signed
+                if status == core.HighsModelStatus.kOptimal:
+                    break
+                if not improved_enough:
+                    stalled = True
+                    break
+            elif best_x is not None:
+                # The slice found nothing new; keep the previous incumbent.
+                stalled = True
+                break
+
+        elapsed = time.perf_counter() - start
+        solution = self._interpret_direct(
+            core, form, last_status, best_x, last_gap, elapsed
+        )
+        if stalled and solution.is_feasible:
+            solution = Solution(
+                status=SolveStatus.FEASIBLE,
+                objective=solution.objective,
+                values=solution.values,
+                solve_time=elapsed,
+                backend=self.name,
+                gap=solution.gap,
+                message=(
+                    f"progressive solve stalled after {used_slices} slice(s); "
+                    f"{solution.message}"
+                ).strip("; "),
+            )
+        return solution
+
+    def _interpret_direct(
+        self, core, form, status, x, gap, elapsed: float
+    ) -> Solution:
+        """Map a direct HiGHS run to a :class:`Solution`."""
+        has_solution = x is not None
+        hs = core.HighsModelStatus
+        if status == hs.kOptimal and has_solution:
+            our_status = SolveStatus.OPTIMAL
+        elif status in (hs.kTimeLimit, hs.kIterationLimit) and has_solution:
+            our_status = SolveStatus.FEASIBLE
+        elif status in (hs.kTimeLimit, hs.kIterationLimit):
+            our_status = SolveStatus.TIME_LIMIT
+        elif status == hs.kInfeasible:
+            our_status = SolveStatus.INFEASIBLE
+        elif status in (hs.kUnbounded, hs.kUnboundedOrInfeasible):
+            our_status = SolveStatus.UNBOUNDED
+        elif has_solution:
+            our_status = SolveStatus.FEASIBLE
+        else:
+            our_status = SolveStatus.ERROR
+
+        message = f"HiGHS status: {status}" if status is not None else ""
+        if not has_solution:
+            return Solution(
+                status=our_status,
+                solve_time=elapsed,
+                backend=self.name,
+                message=message,
+                gap=gap,
+            )
+        values = self.assignment_from_vector(form, x)
+        vector = np.array([values[var] for var in form.variables])
+        objective = self.objective_value(form, vector)
+        return Solution(
+            status=our_status,
+            objective=objective,
+            values=values,
+            solve_time=elapsed,
+            backend=self.name,
+            message=message,
+            gap=gap,
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -142,9 +477,3 @@ class HighsBackend(SolverBackend):
             message=message,
             gap=gap,
         )
-
-
-def _ensure_csr(matrix) -> sparse.csr_matrix:  # pragma: no cover - helper
-    if sparse.issparse(matrix):
-        return matrix.tocsr()
-    return sparse.csr_matrix(matrix)

@@ -163,9 +163,13 @@ class Variable:
 class LinExpr:
     """An affine expression ``sum_i coeff_i * var_i + constant``.
 
-    Instances are immutable from the caller's point of view: all arithmetic
-    returns new expressions.  Coefficients with magnitude below 1e-15 are
-    dropped to keep the expression sparse.
+    Binary arithmetic returns new expressions, so shared sub-expressions are
+    never mutated behind a caller's back.  The *in-place* operators
+    (``+=`` / ``-=``) mutate the accumulator instead of copying it, which
+    makes building a sum of ``n`` terms linear rather than quadratic — use
+    them (or :func:`lin_sum`) for accumulation loops and treat the accumulator
+    as exclusively owned until the loop finishes.  Coefficients with magnitude
+    below 1e-15 are dropped to keep the expression sparse.
     """
 
     __slots__ = ("coeffs", "constant")
@@ -213,14 +217,7 @@ class LinExpr:
     @staticmethod
     def sum(terms: Iterable["ExprLike"]) -> "LinExpr":
         """Sum an iterable of expressions, variables and numbers."""
-        total: Dict[Variable, float] = {}
-        constant = 0.0
-        for term in terms:
-            expr = LinExpr.from_value(term)
-            constant += expr.constant
-            for var, coeff in expr.coeffs.items():
-                total[var] = total.get(var, 0.0) + coeff
-        return LinExpr(total, constant)
+        return lin_sum(terms)
 
     # -- arithmetic --------------------------------------------------------
 
@@ -231,14 +228,38 @@ class LinExpr:
             coeffs[var] = coeffs.get(var, 0.0) + sign * coeff
         return LinExpr(coeffs, self.constant + sign * other_expr.constant)
 
+    def _combine_inplace(self, other: "ExprLike", sign: float) -> "LinExpr":
+        """Accumulate ``other`` into this expression without copying.
+
+        Only safe on an accumulator this code path exclusively owns; the
+        public ``+=`` / ``-=`` operators route here so that summation loops
+        cost O(total terms) instead of O(terms^2).
+        """
+        other_expr = LinExpr.from_value(other)
+        coeffs = self.coeffs
+        for var, coeff in other_expr.coeffs.items():
+            merged = coeffs.get(var, 0.0) + sign * coeff
+            if abs(merged) > self._DROP_TOL:
+                coeffs[var] = merged
+            elif var in coeffs:
+                del coeffs[var]
+        self.constant += sign * other_expr.constant
+        return self
+
     def __add__(self, other: "ExprLike") -> "LinExpr":
         return self._combine(other, 1.0)
 
     def __radd__(self, other: "ExprLike") -> "LinExpr":
         return self._combine(other, 1.0)
 
+    def __iadd__(self, other: "ExprLike") -> "LinExpr":
+        return self._combine_inplace(other, 1.0)
+
     def __sub__(self, other: "ExprLike") -> "LinExpr":
         return self._combine(other, -1.0)
+
+    def __isub__(self, other: "ExprLike") -> "LinExpr":
+        return self._combine_inplace(other, -1.0)
 
     def __rsub__(self, other: "ExprLike") -> "LinExpr":
         return (self * -1.0)._combine(other, 1.0)
@@ -356,6 +377,30 @@ class Constraint:
 
 
 ExprLike = Union[Number, Variable, LinExpr]
+
+
+def lin_sum(terms: Iterable[ExprLike]) -> LinExpr:
+    """Sum expressions in linear time.
+
+    Unlike the builtin ``sum()``, which copies the accumulator on every
+    ``+`` and is therefore quadratic in the number of terms, this accumulates
+    into a single dictionary.  It is the preferred spelling in hot
+    model-building loops.
+    """
+    total: Dict[Variable, float] = {}
+    constant = 0.0
+    for term in terms:
+        if isinstance(term, Variable):
+            total[term] = total.get(term, 0.0) + 1.0
+            continue
+        if isinstance(term, (int, float)):
+            constant += term
+            continue
+        expr = LinExpr.from_value(term)
+        constant += expr.constant
+        for var, coeff in expr.coeffs.items():
+            total[var] = total.get(var, 0.0) + coeff
+    return LinExpr(total, constant)
 
 
 def quicksum(terms: Iterable[ExprLike]) -> LinExpr:

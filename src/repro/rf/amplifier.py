@@ -116,6 +116,11 @@ class AmplifierModel:
         self.netlist = netlist
         self.chain = chain
         self.z0 = reference_impedance
+        # Per-net line models and per-(line, sweep) bend discontinuities are
+        # cached: every layout candidate of a benchmark re-evaluates the same
+        # handful of cross-sections over the same frequency grid.
+        self._line_models: dict = {}
+        self._bend_networks: dict = {}
         self._validate()
 
     def _validate(self) -> None:
@@ -134,8 +139,22 @@ class AmplifierModel:
     # ------------------------------------------------------------------ #
 
     def _line_model(self, net_name: str) -> MicrostripLine:
-        width = self.netlist.microstrip_width(net_name)
-        return MicrostripLine.from_technology(self.netlist.technology, width=width)
+        model = self._line_models.get(net_name)
+        if model is None:
+            width = self.netlist.microstrip_width(net_name)
+            model = MicrostripLine.from_technology(self.netlist.technology, width=width)
+            self._line_models[net_name] = model
+        return model
+
+    def _bend_network(
+        self, line: MicrostripLine, frequencies: np.ndarray
+    ) -> TwoPortNetwork:
+        key = (line, frequencies.tobytes())
+        network = self._bend_networks.get(key)
+        if network is None:
+            network = bend_two_port(line, frequencies, mitred=True)
+            self._bend_networks[key] = network
+        return network
 
     def _net_geometry(
         self, net_name: str, layout: Optional[Layout]
@@ -162,7 +181,7 @@ class AmplifierModel:
             length, bends = self._net_geometry(element.name, layout)
             network = microstrip_section(line, length, frequencies)
             if bends:
-                bend = bend_two_port(line, frequencies, mitred=True)
+                bend = self._bend_network(line, frequencies)
                 for _ in range(bends):
                     network = network @ bend
             return network
@@ -176,7 +195,7 @@ class AmplifierModel:
             equivalent = max(length + bends * delta, 0.0)
             network = open_stub(line, equivalent, frequencies)
             if bends:
-                bend = bend_two_port(line, frequencies, mitred=True)
+                bend = self._bend_network(line, frequencies)
                 for _ in range(bends):
                     network = network @ bend
             return network

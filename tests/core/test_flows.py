@@ -12,6 +12,8 @@ from repro.core import PILPConfig, plan_refinement
 from repro.core.result import FlowResult, PhaseResult
 from repro.layout import ViolationKind, compute_metrics, run_drc
 
+pytestmark = pytest.mark.slow
+
 
 class TestExactFlow:
     def test_layout_is_drc_clean(self, exact_tiny_result):

@@ -10,6 +10,10 @@ import types
 
 import pytest
 
+# These reuse the session-scoped solved-flow fixtures, so selecting them
+# triggers the MILP solves; keep them in the slow bucket.
+pytestmark = pytest.mark.slow
+
 from repro.circuit import LayoutArea
 from repro.experiments import figure11 as figure11_module
 from repro.experiments import table1 as table1_module

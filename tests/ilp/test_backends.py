@@ -167,3 +167,55 @@ class TestHighsSpecifics:
         model, _ = knapsack_model([2, 3, 4], [3, 4, 5], 6)
         solution = model.solve(backend="highs", time_limit=10.0)
         assert solution.is_feasible
+
+
+class TestWarmStarts:
+    """Warm-started solves must agree with cold solves on the optimum."""
+
+    def _model(self):
+        return knapsack_model([3, 4, 5, 6], [4, 5, 6, 9], capacity=10)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_feasible_warm_start_reaches_same_optimum(self, backend):
+        model, items = self._model()
+        cold = model.solve(backend=backend)
+        # Feasible but sub-optimal start: take only item 0.
+        warm = {items[0]: 1.0, items[1]: 0.0, items[2]: 0.0, items[3]: 0.0}
+        warm_solution = model.solve(backend=backend, warm_start=warm)
+        assert warm_solution.status is SolveStatus.OPTIMAL
+        assert warm_solution.objective == pytest.approx(cold.objective)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_infeasible_warm_start_is_only_a_seed(self, backend):
+        model, items = self._model()
+        # Violates the capacity constraint; must not poison the result.
+        warm = {item: 1.0 for item in items}
+        solution = model.solve(backend=backend, warm_start=warm)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(14.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_partial_and_foreign_names_are_tolerated(self, backend):
+        model, items = self._model()
+        warm = {"item1": 1.0, "does_not_exist": 5.0}
+        solution = model.solve(backend=backend, warm_start=warm)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(14.0)
+
+    def test_backends_agree_on_warm_started_solves(self):
+        model, items = self._model()
+        warm = {items[3]: 1.0}
+        objectives = {
+            backend: model.solve(backend=backend, warm_start=warm).objective
+            for backend in BACKENDS
+        }
+        assert objectives["highs"] == pytest.approx(objectives["branch-and-bound"])
+
+    def test_progressive_solve_matches_plain_optimum(self):
+        model, _ = self._model()
+        plain = model.solve(backend="highs")
+        progressive = model.solve(
+            backend="highs", time_limit=10.0, progressive=True
+        )
+        assert progressive.status is SolveStatus.OPTIMAL
+        assert progressive.objective == pytest.approx(plain.objective)

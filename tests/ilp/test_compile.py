@@ -1,0 +1,234 @@
+"""Tests of the batched compile fast path and the incremental standard form.
+
+The crucial invariant: a model built through :class:`ConstraintBatch` /
+:meth:`Model.add_linear_batch` must export a :class:`StandardForm` that is
+*identical* (same nnz, rows, right-hand sides, bounds and objective) to the
+same model built constraint-by-constraint through the expression API, and a
+form exported incrementally (compile, append, re-compile) must equal the
+form of a from-scratch build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.ilp import ConstraintBatch, Model, Sense, lin_sum
+from repro.ilp.expr import LinExpr
+
+
+def _assert_forms_equal(first, second):
+    assert first.num_variables == second.num_variables
+    assert [v.name for v in first.variables] == [v.name for v in second.variables]
+    np.testing.assert_array_equal(first.objective, second.objective)
+    assert first.objective_constant == second.objective_constant
+    np.testing.assert_array_equal(first.lower, second.lower)
+    np.testing.assert_array_equal(first.upper, second.upper)
+    np.testing.assert_array_equal(first.integrality, second.integrality)
+    for attr in ("a_ub", "a_eq"):
+        a = getattr(first, attr).tocsr().sorted_indices()
+        b = getattr(second, attr).tocsr().sorted_indices()
+        assert a.shape == b.shape
+        assert a.nnz == b.nnz
+        np.testing.assert_allclose(a.toarray(), b.toarray())
+    np.testing.assert_allclose(first.b_ub, second.b_ub)
+    np.testing.assert_allclose(first.b_eq, second.b_eq)
+    assert first.maximize == second.maximize
+
+
+# --------------------------------------------------------------------------- #
+# random-model property test: batched path == legacy dict path
+# --------------------------------------------------------------------------- #
+
+coeffs = st.floats(-10.0, 10.0, allow_nan=False, width=32)
+rhs_values = st.floats(-50.0, 50.0, allow_nan=False, width=32)
+senses = st.sampled_from([Sense.LE, Sense.GE, Sense.EQ])
+
+row_strategy = st.tuples(
+    senses,
+    st.lists(st.tuples(st.integers(0, 7), coeffs), min_size=1, max_size=6),
+    rhs_values,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=st.lists(row_strategy, min_size=1, max_size=12))
+def test_batched_and_legacy_paths_produce_identical_forms(rows):
+    def make_vars(model):
+        variables = []
+        for index in range(8):
+            if index % 3 == 0:
+                variables.append(model.add_binary(f"b{index}"))
+            elif index % 3 == 1:
+                variables.append(model.add_integer(f"i{index}", lb=-4, ub=9))
+            else:
+                variables.append(model.add_continuous(f"x{index}", lb=-2.5, ub=7.5))
+        return variables
+
+    legacy = Model("legacy")
+    legacy_vars = make_vars(legacy)
+    batched = Model("batched")
+    batched_vars = make_vars(batched)
+
+    batch = ConstraintBatch()
+    for sense, terms, rhs in rows:
+        legacy_expr = lin_sum(
+            coeff * legacy_vars[var_index] for var_index, coeff in terms
+        )
+        if sense is Sense.LE:
+            legacy.add_constraint(legacy_expr <= rhs)
+            batch.add_le(rhs, [(batched_vars[i], c) for i, c in terms])
+        elif sense is Sense.GE:
+            legacy.add_constraint(legacy_expr >= rhs)
+            batch.add_ge(rhs, [(batched_vars[i], c) for i, c in terms])
+        else:
+            legacy.add_constraint(legacy_expr == rhs)
+            batch.add_eq(rhs, [(batched_vars[i], c) for i, c in terms])
+    batched.add_linear_batch(batch)
+
+    objective_terms = [(0, 1.5), (2, -2.0), (5, 0.25)]
+    legacy.set_objective(
+        lin_sum(c * legacy_vars[i] for i, c in objective_terms) + 3.0
+    )
+    batched.set_objective(
+        lin_sum(c * batched_vars[i] for i, c in objective_terms) + 3.0
+    )
+
+    _assert_forms_equal(legacy.to_standard_form(), batched.to_standard_form())
+
+
+# --------------------------------------------------------------------------- #
+# incremental recompilation
+# --------------------------------------------------------------------------- #
+
+
+def _build_incrementally(export_midway: bool) -> "Model":
+    model = Model("incremental")
+    x = model.add_continuous("x", lb=0, ub=10)
+    y = model.add_integer("y", lb=0, ub=5)
+    model.add_constraint(x + 2 * y <= 8, name="first")
+    model.set_objective(x + y, sense="max")
+    if export_midway:
+        model.to_standard_form()  # prime the cache
+    b = model.add_binary("b")
+    batch = ConstraintBatch()
+    batch.add_ge(1.0, [(x, 1.0), (b, 3.0)], name="second")
+    batch.add_eq(2.0, [(y, 1.0), (b, -1.0)], name="third")
+    model.add_linear_batch(batch)
+    model.add_constraint(x - y >= -4, name="fourth")
+    return model
+
+
+def test_incremental_export_matches_full_rebuild():
+    incremental = _build_incrementally(export_midway=True)
+    fresh = _build_incrementally(export_midway=False)
+    _assert_forms_equal(incremental.to_standard_form(), fresh.to_standard_form())
+
+
+def test_unchanged_model_reuses_cached_form():
+    model = _build_incrementally(export_midway=True)
+    first = model.to_standard_form()
+    assert model.to_standard_form() is first
+
+
+def test_objective_change_refreshes_cached_form_matrices_shared():
+    model = _build_incrementally(export_midway=True)
+    first = model.to_standard_form()
+    x = model.get_var("x")
+    model.set_objective(5 * x, sense="min")
+    second = model.to_standard_form()
+    assert second is not first
+    assert second.objective[x.index] == 5.0
+    # The constraint matrices did not change, only the objective vector.
+    np.testing.assert_allclose(first.a_ub.toarray(), second.a_ub.toarray())
+
+
+def test_incremental_solve_after_append_is_consistent():
+    model = Model("grow")
+    x = model.add_continuous("x", lb=0, ub=10)
+    model.set_objective(x, sense="max")
+    first = model.solve()
+    assert first.objective == pytest.approx(10.0)
+    model.add_constraint(x <= 4, name="cap")
+    second = model.solve()
+    assert second.objective == pytest.approx(4.0)
+
+
+# --------------------------------------------------------------------------- #
+# batch semantics
+# --------------------------------------------------------------------------- #
+
+
+def test_batch_merges_duplicate_columns_like_linexpr():
+    legacy = Model("legacy")
+    x = legacy.add_continuous("x", ub=5)
+    legacy.add_constraint(LinExpr({x: 1.0}) + LinExpr({x: 2.0}) <= 4)
+
+    batched = Model("batched")
+    xb = batched.add_continuous("x", ub=5)
+    batch = ConstraintBatch()
+    batch.add_le(4.0, [(xb, 1.0), (xb, 2.0)])
+    batched.add_linear_batch(batch)
+
+    _assert_forms_equal(legacy.to_standard_form(), batched.to_standard_form())
+
+
+def test_batch_rejects_foreign_columns():
+    model = Model("target")
+    model.add_continuous("x")
+    other = Model("other")
+    o1 = other.add_continuous("o1")
+    other.add_continuous("o2")
+    far = other.add_continuous("o3")
+    batch = ConstraintBatch()
+    batch.add_le(1.0, [(far, 1.0)])
+    with pytest.raises(ModelError):
+        model.add_linear_batch(batch)
+
+
+def test_materialised_constraints_match_batch_rows():
+    model = Model("materialise")
+    x = model.add_continuous("x", ub=9)
+    y = model.add_binary("y")
+    batch = ConstraintBatch()
+    batch.add_le(3.0, [(x, 1.0), (y, 2.0)], name="row0")
+    batch.add_eq(1.0, [(y, 1.0)], name="row1")
+    model.add_linear_batch(batch)
+    constraints = model.constraints
+    assert [c.name for c in constraints] == ["row0", "row1"]
+    assert model.num_constraints == 2
+    satisfied = {x: 1.0, y: 0.0}
+    assert constraints[0].is_satisfied(satisfied)
+    assert not constraints[1].is_satisfied(satisfied)
+
+
+def test_batch_is_snapshotted_at_ingestion():
+    model = Model("snapshot")
+    x = model.add_continuous("x", ub=5)
+    batch = ConstraintBatch()
+    batch.add_le(4.0, [(x, 1.0)])
+    model.add_linear_batch(batch)
+    before = model.to_standard_form()
+    # Mutating the caller's batch afterwards must not affect the model.
+    batch.add_le(1.0, [(x, 1.0)])
+    assert model.num_constraints == 1
+    after = model.to_standard_form()
+    assert after.a_ub.shape == before.a_ub.shape
+    # Re-ingesting adds only the batch's current rows, counted correctly.
+    model.add_linear_batch(batch)
+    assert model.num_constraints == 3
+    assert model.to_standard_form().a_ub.shape[0] == 3
+
+
+def test_objective_property_returns_a_copy():
+    model = Model("objcopy")
+    x = model.add_continuous("x", ub=5)
+    model.set_objective(2 * x, sense="max")
+    first = model.to_standard_form()
+    leaked = model.objective
+    leaked += 10 * x  # must not mutate the model's objective
+    assert model.objective.coeffs[x] == pytest.approx(2.0)
+    assert model.to_standard_form().objective[x.index] == pytest.approx(2.0)

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.circuit import load_netlist, save_netlist
 from repro.layout import (
     load_layout,

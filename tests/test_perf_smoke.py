@@ -1,0 +1,72 @@
+"""Functional perf-smoke checks: the fast paths must actually be active.
+
+These are not timing assertions (timings are flaky under CI load) but
+structural ones: caches return cached objects, warm starts cover the model,
+and the compiled path is what the hot builders emit.  Run them alone with
+``pytest -m perf_smoke``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PILPConfig
+from repro.core.model_builder import BuildOptions, RficModelBuilder
+from repro.core.warm_start import warm_start_from_seeds
+from repro.geometry.point import Point
+from repro.rf.microstrip import MicrostripLine
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def _build(netlist):
+    options = BuildOptions(
+        blurred_devices=True,
+        exact_lengths=False,
+        allow_overlap=True,
+        include_device_blocks=False,
+    )
+    return RficModelBuilder(netlist, PILPConfig.fast(), options).build()
+
+
+def test_standard_form_cache_returns_same_object(tiny_netlist):
+    model = _build(tiny_netlist).model
+    assert model.to_standard_form() is model.to_standard_form()
+
+
+def test_hot_builders_emit_batched_rows(tiny_netlist):
+    from repro.ilp.expr import Constraint
+
+    model = _build(tiny_netlist).model
+    batch_rows = sum(
+        len(entry)
+        for entry in model._entries
+        if not isinstance(entry, Constraint)
+    )
+    # The spacing/box/bend/no-reversal families must flow through batches.
+    assert batch_rows > 0.3 * model.num_constraints
+
+
+def test_warm_start_covers_most_of_the_model(tiny_netlist):
+    build = _build(tiny_netlist)
+    seeds = {
+        "P_IN": Point(10.0, 150.0),
+        "P_OUT": Point(390.0, 150.0),
+        "M1": Point(200.0, 100.0),
+    }
+    values = warm_start_from_seeds(build, seeds)
+    coverage = len(values) / build.model.num_variables
+    assert coverage > 0.9, f"warm start covers only {coverage:.0%} of variables"
+
+
+def test_rf_propagation_is_memoised():
+    line = MicrostripLine(width=10.0, height=3.0)
+    freq = np.linspace(50e9, 70e9, 41)
+    first = line.propagation_constant(freq)
+    second = line.propagation_constant(freq)
+    assert first is second
+    assert not first.flags.writeable
+    # A different grid misses the cache but produces a fresh entry.
+    other = line.propagation_constant(freq[:-1])
+    assert other is not first
