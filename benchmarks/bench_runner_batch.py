@@ -1,0 +1,76 @@
+"""Batch-runner wall-clock: cold serial vs cold parallel vs fully cached.
+
+Runs the three benchmark circuits' manual-like and P-ILP flows through
+``repro.runner`` the way ``rfic-layout batch`` does, and times
+
+* a **cold serial** batch (1 worker, empty cache),
+* a **cold parallel** batch (2 workers, empty cache),
+* a **cached** re-run of the same batch (every job a cache hit).
+
+The acceptance targets from the runner's introduction: the cached run
+finishes in <5% of the cold run's wall-clock, and on a multi-core machine
+the 2-worker cold run beats the serial cold run.  Uses the same reduced /
+full variant and ``RFIC_BENCH_TIME_LIMIT`` knobs as the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from _bench_utils import bench_config, bench_variant, run_once
+
+from repro.circuits import circuit_names, get_circuit
+from repro.runner import BatchRunner, GeneratorSpec, LayoutJob
+
+
+def _jobs(flow: str):
+    config = bench_config()
+    variant = bench_variant()
+    return [
+        LayoutJob(
+            flow=flow,
+            generator=GeneratorSpec(name, variant),
+            config=config,
+            label=f"{name}:{flow}",
+        )
+        for name in circuit_names()
+    ]
+
+
+def _run_batch(flow: str, workers: int, cache_dir: Path):
+    runner = BatchRunner(cache_dir=cache_dir, workers=workers)
+    outcomes = runner.run(_jobs(flow))
+    assert all(outcome.ok for outcome in outcomes), [o.error for o in outcomes]
+    return outcomes
+
+
+@pytest.fixture(params=["manual", "pilp"])
+def flow(request):
+    return request.param
+
+
+@pytest.fixture
+def cache_dir():
+    directory = Path(tempfile.mkdtemp(prefix="rfic-bench-cache-"))
+    yield directory
+    shutil.rmtree(directory, ignore_errors=True)
+
+
+def test_batch_cold_serial(benchmark, flow, cache_dir):
+    outcomes = run_once(benchmark, _run_batch, flow, 1, cache_dir)
+    assert all(outcome.status == "completed" for outcome in outcomes)
+
+
+def test_batch_cold_parallel2(benchmark, flow, cache_dir):
+    outcomes = run_once(benchmark, _run_batch, flow, 2, cache_dir)
+    assert all(outcome.status == "completed" for outcome in outcomes)
+
+
+def test_batch_cached(benchmark, flow, cache_dir):
+    _run_batch(flow, 1, cache_dir)  # populate outside the timed region
+    outcomes = run_once(benchmark, _run_batch, flow, 0, cache_dir)
+    assert all(outcome.status == "cached" for outcome in outcomes)

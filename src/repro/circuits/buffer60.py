@@ -38,14 +38,18 @@ def buffer60_spec(area: LayoutArea = MANUAL_AREA) -> AmplifierSpec:
 
 
 def build_buffer60(
-    area: LayoutArea = MANUAL_AREA, technology: Technology | None = None
+    area: LayoutArea = MANUAL_AREA,
+    technology: Technology | None = None,
+    seed: int | None = None,
 ) -> BenchmarkCircuit:
     """Build the full-size 60 GHz buffer reconstruction."""
-    return build_amplifier_circuit(buffer60_spec(area), technology)
+    return build_amplifier_circuit(buffer60_spec(area), technology, seed=seed)
 
 
 def build_buffer60_reduced(
-    area: LayoutArea | None = None, technology: Technology | None = None
+    area: LayoutArea | None = None,
+    technology: Technology | None = None,
+    seed: int | None = None,
 ) -> BenchmarkCircuit:
     """A reduced 60 GHz buffer (1 stage, 6 microstrips, 8 devices)."""
     spec = AmplifierSpec(
@@ -57,4 +61,4 @@ def build_buffer60_reduced(
         num_devices=8,
         stage_gm_ms=68.0,
     )
-    return build_amplifier_circuit(spec, technology)
+    return build_amplifier_circuit(spec, technology, seed=seed)

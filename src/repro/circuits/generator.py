@@ -24,7 +24,8 @@ path, so the same object drives Table 1 (layout quality) and Figure 11
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import NetlistError
@@ -66,6 +67,13 @@ class AmplifierSpec:
         Pad outline dimensions in micrometres.
     transistor_size, capacitor_size:
         Device outline dimensions in micrometres.
+    seed:
+        Optional RNG seed.  When set, every microstrip's target length is
+        jittered by a deterministic ±6% (``random.Random(seed)``), so one
+        specification yields a family of distinct-but-plausible instances —
+        the scenario sweeps use this to mass-produce workloads.  ``None``
+        (the default) disables the jitter entirely and reproduces the
+        published reconstructions bit-for-bit.
     """
 
     name: str
@@ -80,6 +88,7 @@ class AmplifierSpec:
     transistor_size: Tuple[float, float] = (42.0, 32.0)
     capacitor_size: Tuple[float, float] = (34.0, 34.0)
     resistor_size: Tuple[float, float] = (22.0, 12.0)
+    seed: Optional[int] = None
 
 
 @dataclass
@@ -101,13 +110,21 @@ class BenchmarkCircuit:
 
 
 def build_amplifier_circuit(
-    spec: AmplifierSpec, technology: Optional[Technology] = None
+    spec: AmplifierSpec,
+    technology: Optional[Technology] = None,
+    seed: Optional[int] = None,
 ) -> BenchmarkCircuit:
     """Construct a benchmark circuit from its specification.
+
+    ``seed`` overrides ``spec.seed`` (see :class:`AmplifierSpec`); the
+    construction is fully deterministic given the specification and seed.
 
     Raises :class:`NetlistError` if the requested device / microstrip counts
     are too small to hold the RF chain of ``num_stages`` stages.
     """
+    if seed is not None:
+        spec = replace(spec, seed=seed)
+    rng = random.Random(spec.seed) if spec.seed is not None else None
     technology = technology or default_technology()
     line = MicrostripLine.from_technology(technology)
     wavelength_um = line.guided_wavelength(spec.operating_frequency_ghz * 1.0e9) * 1.0e6
@@ -132,6 +149,8 @@ def build_amplifier_circuit(
         end: Tuple[str, str],
         length: float,
     ) -> MicrostripNet:
+        if rng is not None:
+            length *= rng.uniform(0.94, 1.06)
         net = MicrostripNet(
             name,
             Terminal(*start),

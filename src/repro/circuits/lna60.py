@@ -33,14 +33,18 @@ def lna60_spec(area: LayoutArea = MANUAL_AREA) -> AmplifierSpec:
 
 
 def build_lna60(
-    area: LayoutArea = MANUAL_AREA, technology: Technology | None = None
+    area: LayoutArea = MANUAL_AREA,
+    technology: Technology | None = None,
+    seed: int | None = None,
 ) -> BenchmarkCircuit:
     """Build the full-size 60 GHz LNA reconstruction."""
-    return build_amplifier_circuit(lna60_spec(area), technology)
+    return build_amplifier_circuit(lna60_spec(area), technology, seed=seed)
 
 
 def build_lna60_reduced(
-    area: LayoutArea | None = None, technology: Technology | None = None
+    area: LayoutArea | None = None,
+    technology: Technology | None = None,
+    seed: int | None = None,
 ) -> BenchmarkCircuit:
     """A reduced 60 GHz LNA (1 stage, 6 microstrips, 8 devices)."""
     spec = AmplifierSpec(
@@ -52,4 +56,4 @@ def build_lna60_reduced(
         num_devices=8,
         stage_gm_ms=50.0,
     )
-    return build_amplifier_circuit(spec, technology)
+    return build_amplifier_circuit(spec, technology, seed=seed)

@@ -58,6 +58,7 @@ def get_circuit(
     variant: Optional[str] = None,
     area: Optional[LayoutArea] = None,
     technology: Optional[Technology] = None,
+    seed: Optional[int] = None,
 ) -> BenchmarkCircuit:
     """Build a benchmark circuit by name.
 
@@ -72,6 +73,10 @@ def get_circuit(
     area:
         Optional layout-area override (used for the second area setting of
         Table 1; only meaningful for the ``full`` variant).
+    seed:
+        Optional RNG seed forwarded to the generator (deterministic
+        target-length jitter; ``None`` reproduces the published
+        reconstruction exactly).
     """
     try:
         builders = _BUILDERS[name]
@@ -86,11 +91,9 @@ def get_circuit(
             f"unknown variant {variant!r} for circuit {name!r}; use 'full' or 'reduced'"
         )
     builder = builders[variant]
-    if area is not None and variant == "full":
-        return builder(area=area, technology=technology)
     if area is not None:
-        return builder(area=area, technology=technology)
-    return builder(technology=technology)
+        return builder(area=area, technology=technology, seed=seed)
+    return builder(technology=technology, seed=seed)
 
 
 def area_settings(name: str, variant: Optional[str] = None) -> List[LayoutArea]:

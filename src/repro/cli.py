@@ -5,6 +5,10 @@ Sub-commands
 ``generate``
     Run the P-ILP flow (or the exact / manual-like flow) on a netlist JSON
     file and write the resulting layout (JSON + SVG).
+``batch``
+    Run many layout jobs through the :mod:`repro.runner` subsystem:
+    parallel workers, a content-addressed result cache, optional portfolio
+    racing of solver configurations, and parameter-grid sweeps.
 ``table1``
     Regenerate (part of) the paper's Table 1 and print it.
 ``figure11``
@@ -55,19 +59,100 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--svg", default=None, help="optional SVG output path")
     generate.add_argument("--time-limit", type=float, default=None, help="per-phase solver time limit (s)")
     generate.add_argument("--fast", action="store_true", help="use the fast (unit-test sized) configuration")
+    generate.add_argument(
+        "--seed", type=int, default=None,
+        help="RNG seed for the flow heuristics (and, for benchmark circuit "
+        "names, the generator's deterministic length jitter)",
+    )
+
+    batch = subparsers.add_parser(
+        "batch", help="run many layout jobs in parallel with result caching"
+    )
+    batch.add_argument(
+        "circuits", nargs="*", metavar="CIRCUIT",
+        help="benchmark circuit names (default: all three, unless sweep "
+        "options generate the workload instead)",
+    )
+    batch.add_argument(
+        "--flow", choices=("pilp", "exact", "manual"), default="pilp",
+        help="flow to run on every job (default: pilp)",
+    )
+    batch.add_argument("--variant", choices=("full", "reduced"), default=None)
+    batch.add_argument(
+        "--all-areas", action="store_true",
+        help="also run each circuit's second (stress) area setting",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: CPU count; 0 = run inline)",
+    )
+    batch.add_argument(
+        "--cache-dir", default=".rfic-cache",
+        help="content-addressed result cache directory (default: .rfic-cache)",
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+    batch.add_argument(
+        "--portfolio", action="store_true",
+        help="race solver-configuration variants per job and keep the first "
+        "DRC-clean (or best-scoring) result",
+    )
+    batch.add_argument("--time-limit", type=float, default=None, help="per-phase solver time limit (s)")
+    batch.add_argument("--fast", action="store_true", help="use the fast configuration")
+    batch.add_argument("--seed", type=int, default=None, help="RNG seed for the flow heuristics")
+    batch.add_argument(
+        "--sweep-frequencies", default=None, metavar="GHZ[,GHZ...]",
+        help="add sweep scenarios at these operating frequencies",
+    )
+    batch.add_argument(
+        "--sweep-stages", default=None, metavar="N[,N...]",
+        help="stage counts of the sweep scenarios (default: 2)",
+    )
+    batch.add_argument(
+        "--sweep-area-scales", default=None, metavar="S[,S...]",
+        help="area scale factors of the sweep scenarios (default: 1.0)",
+    )
+    batch.add_argument(
+        "--sweep-seeds", default=None, metavar="N[,N...]",
+        help="generator jitter seeds of the sweep scenarios",
+    )
+    batch.add_argument("--quiet", action="store_true", help="suppress per-job progress lines")
+    batch.add_argument("--json", default=None, help="write the outcome rows to this JSON file")
 
     table1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--circuit", choices=circuit_names(), default=None, help="restrict to one circuit")
     table1.add_argument("--variant", choices=("full", "reduced"), default=None)
     table1.add_argument("--no-manual", action="store_true", help="skip the manual-like baseline")
     table1.add_argument("--fast", action="store_true", help="use the fast configuration")
+    table1.add_argument("--time-limit", type=float, default=None, help="per-phase solver time limit (s)")
     table1.add_argument("--json", default=None, help="write the rows to this JSON file")
+    table1.add_argument(
+        "--workers", type=int, default=None,
+        help="run the flows through the batch runner with this many workers",
+    )
+    table1.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory for the batch runner (implies runner use)",
+    )
 
     figure11 = subparsers.add_parser("figure11", help="regenerate the paper's Figure 11")
     figure11.add_argument("--circuit", choices=list(FIGURE11_CIRCUITS), default=None)
     figure11.add_argument("--variant", choices=("full", "reduced"), default=None)
     figure11.add_argument("--fast", action="store_true", help="use the fast configuration")
+    figure11.add_argument("--time-limit", type=float, default=None, help="per-phase solver time limit (s)")
     figure11.add_argument("--json", default=None, help="write the series to this JSON file")
+    figure11.add_argument(
+        "--workers", type=int, default=None,
+        help="run the flows through the batch runner with this many workers",
+    )
+    figure11.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory for the batch runner (implies runner use)",
+    )
 
     circuits = subparsers.add_parser("circuits", help="list the benchmark circuits")
     circuits.add_argument("--variant", choices=("full", "reduced"), default=None)
@@ -85,15 +170,18 @@ def _config_from_args(args: argparse.Namespace) -> PILPConfig:
             phase3=PhaseSettings(time_limit=time_limit),
             exact=PhaseSettings(time_limit=time_limit),
         )
+    seed = getattr(args, "seed", None)
+    if seed is not None:
+        config = config.with_updates(random_seed=seed)
     return config
 
 
-def _load_netlist_argument(argument: str):
+def _load_netlist_argument(argument: str, seed: Optional[int] = None):
     path = Path(argument)
     if path.exists():
         return load_netlist(path)
     if argument in circuit_names():
-        return get_circuit(argument).netlist
+        return get_circuit(argument, seed=seed).netlist
     raise SystemExit(
         f"error: {argument!r} is neither an existing netlist file nor one of the "
         f"benchmark circuits {circuit_names()}"
@@ -101,7 +189,7 @@ def _load_netlist_argument(argument: str):
 
 
 def _command_generate(args: argparse.Namespace) -> int:
-    netlist = _load_netlist_argument(args.netlist)
+    netlist = _load_netlist_argument(args.netlist, seed=args.seed)
     config = _config_from_args(args)
     if args.flow == "pilp":
         result = PILPLayoutGenerator(config).generate(netlist)
@@ -119,6 +207,118 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _runner_from_args(args: argparse.Namespace):
+    """A BatchRunner when --workers / --cache-dir were given, else None."""
+    workers = getattr(args, "workers", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if workers is None and cache_dir is None:
+        return None
+    from repro.runner import BatchRunner
+
+    return BatchRunner(
+        cache_dir=cache_dir,
+        workers=workers,
+        job_timeout=getattr(args, "timeout", None),
+        progress=None if getattr(args, "quiet", False) else _print_progress,
+    )
+
+
+def _print_progress(event) -> None:
+    if event.kind in ("started", "cached", "completed", "failed", "timeout", "cancelled"):
+        print(f"  [{event.kind:>9}] {event}", flush=True)
+
+
+def _parse_grid(text: Optional[str], convert) -> Optional[list]:
+    if text is None:
+        return None
+    try:
+        return [convert(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"error: bad sweep grid {text!r}: {exc}")
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    from repro.experiments.report import save_json as save_rows
+    from repro.runner import (
+        BatchRunner,
+        GeneratorSpec,
+        LayoutJob,
+        SweepSpec,
+        generate_sweep,
+        run_portfolio_batch,
+    )
+
+    config = _config_from_args(args)
+    frequencies = _parse_grid(args.sweep_frequencies, float)
+    stages = _parse_grid(args.sweep_stages, int)
+    scales = _parse_grid(args.sweep_area_scales, float)
+    seeds = _parse_grid(args.sweep_seeds, int)
+    sweep_requested = any(grid is not None for grid in (frequencies, stages, scales, seeds))
+
+    jobs = []
+    circuits = list(args.circuits)
+    if not circuits and not sweep_requested:
+        circuits = circuit_names()
+    for name in circuits:
+        if name not in circuit_names():
+            raise SystemExit(
+                f"error: unknown circuit {name!r}; available: {circuit_names()}"
+            )
+        from repro.circuits import area_settings
+
+        areas = area_settings(name, args.variant)
+        settings = areas if args.all_areas else areas[:1]
+        for index, area in enumerate(settings):
+            jobs.append(
+                LayoutJob(
+                    flow=args.flow,
+                    generator=GeneratorSpec(
+                        name, args.variant, area=(area.width, area.height), seed=args.seed
+                    ),
+                    config=config,
+                    label=f"{name}[{index}]:{args.flow}",
+                )
+            )
+    if sweep_requested:
+        sweep = SweepSpec(
+            frequencies_ghz=tuple(frequencies or (60.0,)),
+            stage_counts=tuple(stages or (2,)),
+            area_scales=tuple(scales or (1.0,)),
+            seeds=tuple(seeds or (args.seed,)),
+        )
+        jobs.extend(generate_sweep(sweep, config=config, flow=args.flow))
+
+    runner = BatchRunner(
+        cache_dir=None if args.no_cache else args.cache_dir,
+        workers=args.workers,
+        job_timeout=args.timeout,
+        progress=None if args.quiet else _print_progress,
+    )
+    print(f"running {len(jobs)} job(s) on {runner.workers} worker(s)...")
+
+    if args.portfolio:
+        races = run_portfolio_batch(jobs, runner)
+        rows = [race.row() for race in races]
+        failures = sum(1 for race in races if race.winner is None)
+    else:
+        outcomes = runner.run(jobs)
+        rows = [outcome.row() for outcome in outcomes]
+        failures = sum(1 for outcome in outcomes if not outcome.ok)
+
+    print()
+    print(format_text_table(rows, title="batch results"))
+    stats = runner.cache_stats()
+    if stats:
+        print(
+            f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es) "
+            f"(hit rate {stats['hit_rate']:.0%})"
+        )
+    if args.json:
+        save_rows(rows, args.json)
+        print(f"rows written to {args.json}")
+    return 1 if failures else 0
+
+
 def _command_table1(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     circuits = [args.circuit] if args.circuit else None
@@ -127,6 +327,7 @@ def _command_table1(args: argparse.Namespace) -> int:
         variant=args.variant,
         config=config,
         include_manual=not args.no_manual,
+        runner=_runner_from_args(args),
     )
     print(result.to_text())
     print()
@@ -140,7 +341,12 @@ def _command_table1(args: argparse.Namespace) -> int:
 def _command_figure11(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     circuits = [args.circuit] if args.circuit else None
-    results = run_figure11(circuits=circuits, variant=args.variant, config=config)
+    results = run_figure11(
+        circuits=circuits,
+        variant=args.variant,
+        config=config,
+        runner=_runner_from_args(args),
+    )
     for result in results:
         print(result.to_text())
         print(f"shape holds (p-ilp gain >= manual gain): {result.shape_holds()}")
@@ -166,6 +372,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "generate": _command_generate,
+        "batch": _command_batch,
         "table1": _command_table1,
         "figure11": _command_figure11,
         "circuits": _command_circuits,

@@ -133,8 +133,14 @@ def run_figure11_circuit(
     variant: Optional[str] = None,
     config: Optional[PILPConfig] = None,
     frequency_points: int = 121,
+    runner: Optional["BatchRunner"] = None,
 ) -> Figure11Result:
-    """Regenerate the Figure 11 panel of one circuit."""
+    """Regenerate the Figure 11 panel of one circuit.
+
+    With ``runner`` set, the two layout runs (manual-like and P-ILP) go
+    through the batch runner — concurrent, and cached across invocations;
+    the (cheap) RF simulation always runs inline.
+    """
     if circuit_name not in FIGURE11_CIRCUITS:
         raise ExperimentError(
             f"the paper only simulates {FIGURE11_CIRCUITS}; got {circuit_name!r}"
@@ -146,8 +152,13 @@ def run_figure11_circuit(
         circuit_name, variant, area=pilp_area(circuit_name, variant)
     )
 
-    manual_flow = ManualLikeFlow().generate(manual_circuit.netlist)
-    pilp_flow = PILPLayoutGenerator(config).generate(pilp_circuit.netlist)
+    if runner is not None:
+        manual_flow, pilp_flow = _layout_flows_via_runner(
+            circuit_name, manual_circuit, pilp_circuit, config, runner
+        )
+    else:
+        manual_flow = ManualLikeFlow().generate(manual_circuit.netlist)
+        pilp_flow = PILPLayoutGenerator(config).generate(pilp_circuit.netlist)
 
     f0_ghz = manual_circuit.netlist.operating_frequency_ghz
     f0_hz = f0_ghz * 1.0e9
@@ -174,13 +185,46 @@ def run_figure11_circuit(
     )
 
 
+def _layout_flows_via_runner(
+    circuit_name: str,
+    manual_circuit: BenchmarkCircuit,
+    pilp_circuit: BenchmarkCircuit,
+    config: PILPConfig,
+    runner: "BatchRunner",
+) -> tuple:
+    """Run the manual-like and P-ILP layouts as one runner batch."""
+    from repro.runner.jobs import LayoutJob
+
+    jobs = [
+        LayoutJob(
+            flow="manual",
+            netlist=manual_circuit.netlist,
+            label=f"{circuit_name}:manual",
+        ),
+        LayoutJob(
+            flow="pilp",
+            netlist=pilp_circuit.netlist,
+            config=config,
+            label=f"{circuit_name}:pilp",
+        ),
+    ]
+    outcomes = runner.run(jobs)
+    for job, outcome in zip(jobs, outcomes):
+        if not outcome.ok:
+            raise ExperimentError(
+                f"figure11 job {job.describe()!r} {outcome.status}: {outcome.error}"
+            )
+    return outcomes[0].flow_result(), outcomes[1].flow_result()
+
+
 def run_figure11(
     circuits: Optional[Sequence[str]] = None,
     variant: Optional[str] = None,
     config: Optional[PILPConfig] = None,
+    runner: Optional["BatchRunner"] = None,
 ) -> List[Figure11Result]:
     """Regenerate both Figure 11 panels."""
     results = []
     for circuit_name in circuits or FIGURE11_CIRCUITS:
-        results.append(run_figure11_circuit(circuit_name, variant, config))
+        results.append(run_figure11_circuit(circuit_name, variant, config, runner=runner))
     return results

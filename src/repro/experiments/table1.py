@@ -17,11 +17,11 @@ layouts at the smaller stress areas, in minutes instead of weeks.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.circuit.netlist import LayoutArea
+from repro.errors import ExperimentError
+from repro.circuit.netlist import LayoutArea, Netlist
 from repro.circuits import area_settings, circuit_names, get_circuit
 from repro.core.config import PILPConfig
 from repro.core.pilp import PILPLayoutGenerator
@@ -104,15 +104,60 @@ class Table1Result:
         return True
 
 
+def _make_row(
+    circuit_name: str,
+    setting_index: int,
+    area: LayoutArea,
+    netlist: Netlist,
+    manual_result: Optional[FlowResult],
+    pilp_result: FlowResult,
+) -> Table1Row:
+    """Assemble one table row from the two flow results of a setting."""
+    paper = paper_table1_entry(circuit_name, setting_index)
+    return Table1Row(
+        circuit=netlist.name,
+        area_setting=setting_index,
+        area_label=f"{area.width:.0f}x{area.height:.0f}",
+        num_microstrips=netlist.num_microstrips,
+        num_devices=netlist.num_devices,
+        manual_max_bends=(
+            manual_result.metrics.max_bend_count if manual_result else None
+        ),
+        manual_total_bends=(
+            manual_result.metrics.total_bend_count if manual_result else None
+        ),
+        manual_runtime_s=manual_result.runtime if manual_result else None,
+        pilp_max_bends=pilp_result.metrics.max_bend_count,
+        pilp_total_bends=pilp_result.metrics.total_bend_count,
+        pilp_runtime_s=pilp_result.runtime,
+        pilp_drc_clean=pilp_result.is_clean,
+        paper_manual_max_bends=paper.manual_max_bends if paper else None,
+        paper_manual_total_bends=paper.manual_total_bends if paper else None,
+        paper_pilp_max_bends=paper.pilp_max_bends if paper else None,
+        paper_pilp_total_bends=paper.pilp_total_bends if paper else None,
+        paper_pilp_runtime=paper.pilp_runtime if paper else None,
+    )
+
+
 def run_table1_circuit(
     circuit_name: str,
     variant: Optional[str] = None,
     config: Optional[PILPConfig] = None,
     include_manual: bool = True,
     areas: Optional[Sequence[LayoutArea]] = None,
+    runner: Optional["BatchRunner"] = None,
 ) -> Table1Result:
-    """Regenerate the Table 1 rows of one circuit (both area settings)."""
+    """Regenerate the Table 1 rows of one circuit (both area settings).
+
+    With ``runner`` set, all flow runs are submitted as one batch through
+    the :mod:`repro.runner` pool (parallel across settings, cached on
+    re-runs); otherwise they execute inline as before.
+    """
     config = config or PILPConfig()
+    if runner is not None:
+        return _run_with_runner(
+            [circuit_name], variant, config, include_manual, areas, runner
+        )
     result = Table1Result()
     settings = list(areas) if areas is not None else area_settings(circuit_name, variant)
 
@@ -128,30 +173,9 @@ def run_table1_circuit(
         pilp_result = PILPLayoutGenerator(config).generate(netlist)
         result.flow_results[f"{circuit_name}[{setting_index}].pilp"] = pilp_result
 
-        paper = paper_table1_entry(circuit_name, setting_index)
         result.rows.append(
-            Table1Row(
-                circuit=netlist.name,
-                area_setting=setting_index,
-                area_label=f"{area.width:.0f}x{area.height:.0f}",
-                num_microstrips=netlist.num_microstrips,
-                num_devices=netlist.num_devices,
-                manual_max_bends=(
-                    manual_result.metrics.max_bend_count if manual_result else None
-                ),
-                manual_total_bends=(
-                    manual_result.metrics.total_bend_count if manual_result else None
-                ),
-                manual_runtime_s=manual_result.runtime if manual_result else None,
-                pilp_max_bends=pilp_result.metrics.max_bend_count,
-                pilp_total_bends=pilp_result.metrics.total_bend_count,
-                pilp_runtime_s=pilp_result.runtime,
-                pilp_drc_clean=pilp_result.is_clean,
-                paper_manual_max_bends=paper.manual_max_bends if paper else None,
-                paper_manual_total_bends=paper.manual_total_bends if paper else None,
-                paper_pilp_max_bends=paper.pilp_max_bends if paper else None,
-                paper_pilp_total_bends=paper.pilp_total_bends if paper else None,
-                paper_pilp_runtime=paper.pilp_runtime if paper else None,
+            _make_row(
+                circuit_name, setting_index, area, netlist, manual_result, pilp_result
             )
         )
     return result
@@ -162,11 +186,97 @@ def run_table1(
     variant: Optional[str] = None,
     config: Optional[PILPConfig] = None,
     include_manual: bool = True,
+    runner: Optional["BatchRunner"] = None,
 ) -> Table1Result:
-    """Regenerate the full Table 1 (all circuits, both area settings)."""
+    """Regenerate the full Table 1 (all circuits, both area settings).
+
+    With ``runner`` set, every (circuit, area setting, flow) run across
+    *all* circuits goes into a single batch, so the whole table
+    parallelises over the pool's workers and re-runs are served from the
+    result cache.
+    """
+    names = list(circuits or circuit_names())
+    if runner is not None:
+        return _run_with_runner(
+            names, variant, config or PILPConfig(), include_manual, None, runner
+        )
     combined = Table1Result()
-    for circuit_name in circuits or circuit_names():
+    for circuit_name in names:
         partial = run_table1_circuit(circuit_name, variant, config, include_manual)
         combined.rows.extend(partial.rows)
         combined.flow_results.update(partial.flow_results)
     return combined
+
+
+def _run_with_runner(
+    names: Sequence[str],
+    variant: Optional[str],
+    config: PILPConfig,
+    include_manual: bool,
+    areas: Optional[Sequence[LayoutArea]],
+    runner: "BatchRunner",
+) -> Table1Result:
+    """Regenerate Table 1 rows through the batch runner."""
+    from repro.runner.jobs import LayoutJob
+
+    work: List[Tuple[str, int, LayoutArea, Netlist, str, object]] = []
+    for circuit_name in names:
+        settings = (
+            list(areas) if areas is not None else area_settings(circuit_name, variant)
+        )
+        for setting_index, area in enumerate(settings):
+            netlist = get_circuit(circuit_name, variant, area=area).netlist
+            slot = f"{circuit_name}[{setting_index}]"
+            if include_manual and setting_index == 0:
+                work.append(
+                    (
+                        circuit_name,
+                        setting_index,
+                        area,
+                        netlist,
+                        "manual",
+                        LayoutJob(flow="manual", netlist=netlist, label=f"{slot}:manual"),
+                    )
+                )
+            work.append(
+                (
+                    circuit_name,
+                    setting_index,
+                    area,
+                    netlist,
+                    "pilp",
+                    LayoutJob(
+                        flow="pilp", netlist=netlist, config=config, label=f"{slot}:pilp"
+                    ),
+                )
+            )
+
+    outcomes = runner.run([entry[-1] for entry in work])
+
+    result = Table1Result()
+    solved: Dict[Tuple[str, int, str], FlowResult] = {}
+    for (circuit_name, setting_index, area, netlist, kind, job), outcome in zip(
+        work, outcomes
+    ):
+        if not outcome.ok:
+            raise ExperimentError(
+                f"table1 job {job.describe()!r} {outcome.status}: {outcome.error}"
+            )
+        flow_result = outcome.flow_result()
+        solved[(circuit_name, setting_index, kind)] = flow_result
+        result.flow_results[f"{circuit_name}[{setting_index}].{kind}"] = flow_result
+
+    for circuit_name, setting_index, area, netlist, kind, _job in work:
+        if kind != "pilp":
+            continue
+        result.rows.append(
+            _make_row(
+                circuit_name,
+                setting_index,
+                area,
+                netlist,
+                solved.get((circuit_name, setting_index, "manual")),
+                solved[(circuit_name, setting_index, "pilp")],
+            )
+        )
+    return result

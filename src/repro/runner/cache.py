@@ -1,0 +1,274 @@
+"""Disk-backed, content-addressed store of layout-generation results.
+
+Every completed :class:`~repro.runner.jobs.LayoutJob` is stored under
+``<root>/<hash[:2]>/<hash[2:]>/`` as three documents:
+
+* ``layout.json`` — the final layout (netlist embedded, self-contained),
+* ``metrics.json`` — the flow's summary row plus per-phase summaries,
+* ``manifest.json`` — job provenance: flow, circuit, code-version salt,
+  configuration, timestamps.
+
+The store is **append-only**: entries are written to a temporary directory
+and atomically renamed into place, and an existing entry is never replaced
+(first writer wins; concurrent writers of the same hash produced the same
+bytes anyway, because the hash fully determines the result).  Corrupt or
+partial entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.core.result import FlowResult
+from repro.layout.drc import run_drc
+from repro.layout.export_json import load_layout, save_layout
+from repro.layout.metrics import compute_metrics
+from repro.runner.jobs import LayoutJob, code_version_salt
+
+PathLike = Union[str, Path]
+
+LAYOUT_FILE = "layout.json"
+METRICS_FILE = "metrics.json"
+MANIFEST_FILE = "manifest.json"
+
+#: Staging directories older than this are considered orphaned (their
+#: writer was killed mid-write) and are swept on the next store.
+STALE_STAGING_SECONDS = 3600.0
+
+
+@dataclass
+class CacheStats:
+    """Hit / miss / store counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": round(self.hit_rate, 3),
+        }
+
+
+@dataclass
+class CachedResult:
+    """A cache entry: paths plus the stored summary and manifest."""
+
+    key: str
+    directory: Path
+    manifest: Dict[str, object]
+    summary: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def layout_path(self) -> Path:
+        return self.directory / LAYOUT_FILE
+
+    def flow_result(self) -> FlowResult:
+        """Rebuild a :class:`FlowResult` from the stored layout.
+
+        Metrics and the DRC report are recomputed from the layout (both are
+        deterministic functions of it); the recorded wall-clock runtime of
+        the original run is preserved.  Per-phase diagnostics are not
+        reconstructed (``phases`` is empty).
+        """
+        layout = load_layout(self.layout_path)
+        return FlowResult(
+            flow=str(self.manifest.get("flow", "")),
+            circuit=layout.netlist.name,
+            layout=layout,
+            metrics=compute_metrics(layout),
+            drc=run_drc(layout),
+            runtime=float(self.summary.get("runtime_s", 0.0)),
+        )
+
+
+class ResultCache:
+    """Content-addressed result store rooted at a directory."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # addressing
+    # ------------------------------------------------------------------ #
+
+    def entry_dir(self, key: str) -> Path:
+        """Directory an entry with the given content hash lives in."""
+        return self.root / key[:2] / key[2:]
+
+    def contains(self, job: LayoutJob) -> bool:
+        """Whether a complete entry exists (does not touch the counters)."""
+        return self._is_complete(self.entry_dir(job.content_hash))
+
+    @staticmethod
+    def _is_complete(directory: Path) -> bool:
+        return all(
+            (directory / name).is_file()
+            for name in (LAYOUT_FILE, METRICS_FILE, MANIFEST_FILE)
+        )
+
+    # ------------------------------------------------------------------ #
+    # lookup / store
+    # ------------------------------------------------------------------ #
+
+    def get(self, job: LayoutJob) -> Optional[CachedResult]:
+        """Look a job up; returns ``None`` (and counts a miss) if absent."""
+        entry = self.peek(job)
+        if entry is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def peek(self, job: LayoutJob) -> Optional[CachedResult]:
+        """Like :meth:`get` but without touching the hit/miss counters."""
+        key = job.content_hash
+        directory = self.entry_dir(key)
+        if not self._is_complete(directory):
+            return None
+        try:
+            manifest = _read_json(directory / MANIFEST_FILE)
+            metrics = _read_json(directory / METRICS_FILE)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return CachedResult(
+            key=key,
+            directory=directory,
+            manifest=manifest,
+            summary=dict(metrics.get("summary", {})),
+        )
+
+    def put(self, job: LayoutJob, result: FlowResult) -> CachedResult:
+        """Store a finished run (no-op when a valid entry already exists).
+
+        A *corrupt or partial* existing entry is garbage, not data: it is
+        removed and rewritten (the append-only guarantee protects valid
+        entries only — without this the store could never self-heal).
+        """
+        key = job.content_hash
+        directory = self.entry_dir(key)
+        entry = self.peek(job)
+        if entry is not None:
+            return entry
+        if directory.exists():
+            shutil.rmtree(directory, ignore_errors=True)
+        self._write_entry(job, result, key, directory)
+        entry = self.peek(job)
+        if entry is None:
+            raise OSError(f"cache entry {key} unreadable after store in {self.root}")
+        return entry
+
+    def _sweep_stale_staging(self) -> None:
+        """Remove staging leftovers from writers that were killed mid-write.
+
+        A terminated worker (timeout, crash) never reaches its cleanup, so
+        its staging directory would otherwise leak forever.  Anything old
+        enough that no live writer can still own it is deleted; fresh
+        directories are left alone (their writer may be mid-rename).
+        """
+        staging_root = self.root / "tmp"
+        if not staging_root.is_dir():
+            return
+        cutoff = time.time() - STALE_STAGING_SECONDS
+        for leftover in staging_root.iterdir():
+            try:
+                if leftover.stat().st_mtime < cutoff:
+                    shutil.rmtree(leftover, ignore_errors=True)
+            except OSError:  # pragma: no cover - raced with another sweeper
+                continue
+
+    def _write_entry(
+        self, job: LayoutJob, result: FlowResult, key: str, directory: Path
+    ) -> None:
+        self._sweep_stale_staging()
+        staging = self.root / "tmp" / f"{key[:12]}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        staging.mkdir(parents=True, exist_ok=True)
+        try:
+            save_layout(result.layout, staging / LAYOUT_FILE)
+            _write_json(
+                staging / METRICS_FILE,
+                {"summary": result.summary(), "phases": result.phase_table()},
+            )
+            _write_json(
+                staging / MANIFEST_FILE,
+                {
+                    "content_hash": key,
+                    "flow": result.flow,
+                    "circuit": result.circuit,
+                    "label": job.describe(),
+                    "variant": job.variant,
+                    "code_version": code_version_salt(),
+                    "runtime_s": result.runtime,
+                    "created_unix": time.time(),
+                },
+            )
+            directory.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                staging.rename(directory)
+            except OSError:
+                # Lost the race against a concurrent writer; their entry is
+                # equivalent (same content hash), keep it.
+                shutil.rmtree(staging, ignore_errors=True)
+            else:
+                self.stats.stores += 1
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_entries())
+
+    def iter_entries(self) -> Iterator[CachedResult]:
+        """Iterate over all complete entries in the store."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir() or shard.name == "tmp" or len(shard.name) != 2:
+                continue
+            for directory in sorted(shard.iterdir()):
+                if not self._is_complete(directory):
+                    continue
+                try:
+                    manifest = _read_json(directory / MANIFEST_FILE)
+                    metrics = _read_json(directory / METRICS_FILE)
+                except (OSError, json.JSONDecodeError):
+                    continue
+                yield CachedResult(
+                    key=shard.name + directory.name,
+                    directory=directory,
+                    manifest=manifest,
+                    summary=dict(metrics.get("summary", {})),
+                )
+
+
+def _read_json(path: Path) -> Dict[str, object]:
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _write_json(path: Path, data: Dict[str, object]) -> None:
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,512 @@
+"""Parallel execution of layout jobs with caching and crash isolation.
+
+:class:`WorkerPool` runs :class:`~repro.runner.jobs.LayoutJob` instances in
+child processes (one process per job, at most ``workers`` alive at a time).
+Each job gets
+
+* a **cache lookup** before any process is spawned (hits settle instantly),
+* a **per-job timeout** (the child is terminated, the batch continues),
+* **crash isolation** (a child dying without reporting — segfault, OOM
+  kill, ``os._exit`` — yields a ``"failed"`` outcome, not a broken batch),
+* **structured progress events** via an optional callback.
+
+Identical jobs (equal content hashes) inside one batch are executed once
+and their outcome is shared.  ``workers=0`` runs everything inline in the
+current process — no isolation, but no fork overhead either, which is the
+right trade for fully cached batches and for the experiment harnesses'
+small configurations.
+
+:class:`BatchRunner` is the convenience facade bundling a cache directory
+with pool settings; it is what the CLI and the experiment harnesses use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.result import FlowResult
+from repro.layout.drc import run_drc
+from repro.layout.export_json import layout_from_dict, layout_to_dict
+from repro.layout.metrics import compute_metrics
+from repro.runner.cache import CachedResult, ResultCache
+from repro.runner.jobs import LayoutJob
+
+PathLike = Union[str, Path]
+
+#: Seconds between scheduler sweeps while jobs are in flight.
+_POLL_INTERVAL = 0.05
+
+
+@dataclass
+class ProgressEvent:
+    """One structured progress notification from the pool."""
+
+    kind: str  #: submitted | cached | started | completed | failed | timeout | cancelled
+    job_key: str
+    label: str
+    variant: str = ""
+    detail: str = ""
+    runtime: float = 0.0
+
+    def __str__(self) -> str:
+        parts = [self.label]
+        if self.runtime:
+            parts.append(f"{self.runtime:.1f}s")
+        if self.detail:
+            parts.append(self.detail)
+        return " ".join(parts)
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+StopPredicate = Callable[["JobOutcome"], bool]
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one job in a batch."""
+
+    job: LayoutJob
+    status: str  #: completed | cached | failed | timeout | cancelled
+    summary: Optional[Dict[str, object]] = None
+    runtime: float = 0.0
+    error: Optional[str] = None
+    entry: Optional[CachedResult] = None
+    layout_doc: Optional[Mapping[str, object]] = None
+    phases: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a layout (fresh or cached)."""
+        return self.status in ("completed", "cached")
+
+    @property
+    def drc_clean(self) -> bool:
+        return bool(self.ok and self.summary and self.summary.get("drc_clean"))
+
+    def flow_result(self) -> FlowResult:
+        """Materialise a :class:`FlowResult` from this outcome.
+
+        Works for successful outcomes only; cached entries reload the
+        stored layout, fresh uncached outcomes use the layout document the
+        worker sent back.  Metrics and DRC are recomputed from the layout.
+        """
+        if self.entry is not None:
+            return self.entry.flow_result()
+        if self.layout_doc is None:
+            raise RuntimeError(
+                f"job {self.job.describe()!r} has no layout "
+                f"(status {self.status!r}: {self.error or 'no result'})"
+            )
+        layout = layout_from_dict(self.layout_doc)
+        return FlowResult(
+            flow=str((self.summary or {}).get("flow", self.job.flow)),
+            circuit=layout.netlist.name,
+            layout=layout,
+            metrics=compute_metrics(layout),
+            drc=run_drc(layout),
+            runtime=float((self.summary or {}).get("runtime_s", self.runtime)),
+        )
+
+    def row(self) -> Dict[str, object]:
+        """Flat report row (for text tables and ``--json`` output)."""
+        row: Dict[str, object] = {
+            "job": self.job.describe(),
+            "status": self.status,
+            "runtime_s": round(self.runtime, 2),
+        }
+        if self.summary:
+            for key in ("max_bends", "total_bends", "drc_clean", "drc_violations"):
+                row[key] = self.summary.get(key)
+        if self.error:
+            row["error"] = self.error
+        return row
+
+
+def _child_main(job: LayoutJob, cache_root: Optional[str], conn) -> None:
+    """Entry point of a worker process: run one job, report via its pipe.
+
+    Each job gets its own pipe so that terminating one child (timeout,
+    cancellation) can at worst corrupt that child's channel — never the
+    reports of the other workers in the batch.
+    """
+    try:
+        result = job.run()
+        payload: Dict[str, object] = {
+            "summary": result.summary(),
+            "phases": result.phase_table(),
+            "runtime": result.runtime,
+        }
+        if cache_root is not None:
+            ResultCache(cache_root).put(job, result)
+        else:
+            payload["layout"] = layout_to_dict(result.layout)
+        conn.send((True, payload))
+    except BaseException as exc:  # noqa: BLE001 - isolation boundary
+        conn.send((False, f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    job: LayoutJob
+    process: multiprocessing.Process
+    conn: object
+    started_at: float
+    deadline: Optional[float]
+    message: Optional[tuple] = None
+    conn_eof: bool = False
+    dead_since: Optional[float] = None
+
+
+class WorkerPool:
+    """Schedule layout jobs over worker processes (see module docstring)."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = run inline)")
+        self.workers = workers
+        self.job_timeout = job_timeout
+        self.cache = cache
+        self.progress = progress
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        jobs: Sequence[LayoutJob],
+        stop_when: Optional[StopPredicate] = None,
+    ) -> List[JobOutcome]:
+        """Run a batch and return one outcome per job, in input order.
+
+        ``stop_when`` is evaluated on every settled outcome; once it
+        returns True the remaining running jobs are terminated and pending
+        jobs are marked ``"cancelled"`` (this is what portfolio racing
+        uses to cancel the losers).
+        """
+        jobs = list(jobs)
+        outcomes: Dict[int, JobOutcome] = {}
+
+        # Deduplicate by content hash: the first occurrence executes, the
+        # rest share its outcome.
+        primary_index: Dict[str, int] = {}
+        duplicates: Dict[int, int] = {}
+        unique: List[int] = []
+        for index, job in enumerate(jobs):
+            self._emit("submitted", job)
+            key = job.content_hash
+            if key in primary_index:
+                duplicates[index] = primary_index[key]
+            else:
+                primary_index[key] = index
+                unique.append(index)
+
+        if self.workers == 0:
+            self._run_inline(jobs, unique, outcomes, stop_when)
+        else:
+            self._run_processes(jobs, unique, outcomes, stop_when)
+
+        for index, primary in duplicates.items():
+            source = outcomes[primary]
+            outcomes[index] = JobOutcome(
+                job=jobs[index],
+                status=source.status,
+                summary=source.summary,
+                runtime=source.runtime,
+                error=source.error,
+                entry=source.entry,
+                layout_doc=source.layout_doc,
+                phases=source.phases,
+            )
+        return [outcomes[index] for index in range(len(jobs))]
+
+    # ------------------------------------------------------------------ #
+    # inline execution
+    # ------------------------------------------------------------------ #
+
+    def _run_inline(
+        self,
+        jobs: List[LayoutJob],
+        unique: List[int],
+        outcomes: Dict[int, JobOutcome],
+        stop_when: Optional[StopPredicate],
+    ) -> None:
+        stopped = False
+        for index in unique:
+            job = jobs[index]
+            if stopped:
+                outcomes[index] = self._settle(
+                    JobOutcome(job=job, status="cancelled", error="portfolio settled")
+                )
+                continue
+            outcome = self._cache_lookup(job)
+            if outcome is None:
+                started = time.perf_counter()
+                try:
+                    result = job.run()
+                except Exception as exc:  # noqa: BLE001 - job boundary
+                    outcome = JobOutcome(
+                        job=job,
+                        status="failed",
+                        runtime=time.perf_counter() - started,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    entry = self.cache.put(job, result) if self.cache is not None else None
+                    outcome = JobOutcome(
+                        job=job,
+                        status="completed",
+                        summary=result.summary(),
+                        runtime=result.runtime,
+                        entry=entry,
+                        layout_doc=None if entry else layout_to_dict(result.layout),
+                        phases=result.phase_table(),
+                    )
+            outcomes[index] = self._settle(outcome)
+            if stop_when and stop_when(outcome):
+                stopped = True
+
+    # ------------------------------------------------------------------ #
+    # process-pool execution
+    # ------------------------------------------------------------------ #
+
+    def _run_processes(
+        self,
+        jobs: List[LayoutJob],
+        unique: List[int],
+        outcomes: Dict[int, JobOutcome],
+        stop_when: Optional[StopPredicate],
+    ) -> None:
+        context = multiprocessing.get_context()
+        cache_root = str(self.cache.root) if self.cache is not None else None
+        pending = list(unique)
+        running: Dict[int, _Running] = {}
+        stopped = False
+
+        def launch() -> None:
+            while pending and len(running) < self.workers:
+                index = pending.pop(0)
+                job = jobs[index]
+                cached = self._cache_lookup(job)
+                if cached is not None:
+                    outcomes[index] = self._settle(cached)
+                    if stop_when and stop_when(cached):
+                        raise _StopBatch()
+                    continue
+                receiver, sender = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_child_main, args=(job, cache_root, sender), daemon=True
+                )
+                process.start()
+                sender.close()  # the child owns the write end now
+                now = time.perf_counter()
+                deadline = now + self.job_timeout if self.job_timeout else None
+                running[index] = _Running(job, process, receiver, now, deadline)
+                self._emit("started", job)
+
+        try:
+            launch()
+            while pending or running:
+                now = time.perf_counter()
+                for index in list(running):
+                    state = running[index]
+                    outcome = self._poll(state, now)
+                    if outcome is None:
+                        continue
+                    del running[index]
+                    state.conn.close()
+                    outcomes[index] = self._settle(outcome)
+                    if stop_when and stop_when(outcome):
+                        raise _StopBatch()
+                launch()
+                if pending or running:
+                    time.sleep(_POLL_INTERVAL)
+        except _StopBatch:
+            stopped = True
+        finally:
+            if stopped or running or pending:
+                for index, state in running.items():
+                    _terminate(state.process)
+                    state.conn.close()
+                    outcomes[index] = self._settle(
+                        JobOutcome(
+                            job=state.job,
+                            status="cancelled",
+                            runtime=time.perf_counter() - state.started_at,
+                            error="cancelled",
+                        )
+                    )
+                for index in pending:
+                    outcomes[index] = self._settle(
+                        JobOutcome(job=jobs[index], status="cancelled", error="cancelled")
+                    )
+
+    def _receive(self, state: _Running) -> None:
+        """Pull the worker's report off its pipe, if one is available.
+
+        A corrupted channel (child terminated mid-send) poisons only this
+        job: the error becomes its failure message, the batch continues.
+        """
+        if state.message is not None or state.conn_eof:
+            return
+        try:
+            if state.conn.poll():
+                state.message = state.conn.recv()
+        except EOFError:
+            state.conn_eof = True
+        except Exception as exc:  # noqa: BLE001 - poisoned channel
+            state.message = (
+                False,
+                f"worker report unreadable ({type(exc).__name__}: {exc})",
+            )
+
+    def _poll(self, state: _Running, now: float) -> Optional[JobOutcome]:
+        """Settle one running job if it has finished, crashed or timed out."""
+        self._receive(state)
+        elapsed = now - state.started_at
+        if state.message is not None:
+            ok, payload = state.message
+            state.process.join(timeout=5.0)
+            if ok:
+                entry = self.cache.peek(state.job) if self.cache is not None else None
+                return JobOutcome(
+                    job=state.job,
+                    status="completed",
+                    summary=dict(payload["summary"]),
+                    runtime=float(payload["runtime"]),
+                    entry=entry,
+                    layout_doc=payload.get("layout"),
+                    phases=list(payload["phases"]),
+                )
+            return JobOutcome(
+                job=state.job, status="failed", runtime=elapsed, error=str(payload)
+            )
+        if state.deadline is not None and now > state.deadline:
+            _terminate(state.process)
+            return JobOutcome(
+                job=state.job,
+                status="timeout",
+                runtime=elapsed,
+                error=f"timed out after {self.job_timeout:.1f}s",
+            )
+        if not state.process.is_alive():
+            # Died without a message so far.  The result may still be in
+            # flight through the queue's feeder pipe, so allow a short
+            # grace period before declaring a crash (segfault, os._exit,
+            # OOM kill).
+            if state.dead_since is None:
+                state.dead_since = now
+                return None
+            if now - state.dead_since < 0.5:
+                return None
+            return JobOutcome(
+                job=state.job,
+                status="failed",
+                runtime=elapsed,
+                error=f"worker crashed (exit code {state.process.exitcode})",
+            )
+        return None
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+
+    def _cache_lookup(self, job: LayoutJob) -> Optional[JobOutcome]:
+        if self.cache is None:
+            return None
+        entry = self.cache.get(job)
+        if entry is None:
+            return None
+        return JobOutcome(
+            job=job,
+            status="cached",
+            summary=dict(entry.summary),
+            runtime=float(entry.summary.get("runtime_s", 0.0)),
+            entry=entry,
+        )
+
+    def _settle(self, outcome: JobOutcome) -> JobOutcome:
+        self._emit(
+            outcome.status, outcome.job, detail=outcome.error or "", runtime=outcome.runtime
+        )
+        return outcome
+
+    def _emit(
+        self, kind: str, job: LayoutJob, detail: str = "", runtime: float = 0.0
+    ) -> None:
+        if self.progress is None:
+            return
+        self.progress(
+            ProgressEvent(
+                kind=kind,
+                job_key=job.content_hash[:12],
+                label=job.describe(),
+                variant=job.variant,
+                detail=detail,
+                runtime=runtime,
+            )
+        )
+
+
+class _StopBatch(Exception):
+    """Internal control-flow signal: ``stop_when`` fired."""
+
+
+def _terminate(process: multiprocessing.Process) -> None:
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=2.0)
+        if process.is_alive():  # pragma: no cover - stubborn child
+            process.kill()
+            process.join(timeout=2.0)
+
+
+class BatchRunner:
+    """Facade bundling a result cache with worker-pool settings.
+
+    This is the object the CLI and the experiment harnesses hold on to:
+    construct once, submit batches through :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[PathLike] = None,
+        workers: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.pool = WorkerPool(
+            workers=workers, job_timeout=job_timeout, cache=self.cache, progress=progress
+        )
+
+    @property
+    def workers(self) -> int:
+        return self.pool.workers
+
+    def run(
+        self, jobs: Sequence[LayoutJob], stop_when: Optional[StopPredicate] = None
+    ) -> List[JobOutcome]:
+        """Run a batch of jobs (see :meth:`WorkerPool.run`)."""
+        return self.pool.run(jobs, stop_when=stop_when)
+
+    def run_one(self, job: LayoutJob) -> JobOutcome:
+        """Run a single job."""
+        return self.run([job])[0]
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Hit/miss/store counters (zeros when no cache is configured)."""
+        return self.cache.stats.as_dict() if self.cache is not None else {}

@@ -139,3 +139,48 @@ class TestGenerator:
         assert circuit.netlist.num_microstrips == 6
         assert circuit.netlist.num_devices == 8
         assert circuit.netlist.operating_frequency_ghz == 77.0
+
+
+class TestGeneratorSeedThreading:
+    def test_unseeded_build_is_reproducible(self):
+        first = get_circuit("lna94", "reduced").netlist
+        second = get_circuit("lna94", "reduced").netlist
+        assert [net.target_length for net in first.microstrips] == [
+            net.target_length for net in second.microstrips
+        ]
+
+    def test_seed_jitters_lengths_deterministically(self):
+        base = get_circuit("lna94", "reduced").netlist
+        seeded_a = get_circuit("lna94", "reduced", seed=5).netlist
+        seeded_b = get_circuit("lna94", "reduced", seed=5).netlist
+        other = get_circuit("lna94", "reduced", seed=6).netlist
+        lengths = lambda netlist: [net.target_length for net in netlist.microstrips]
+        assert lengths(seeded_a) == lengths(seeded_b)
+        assert lengths(seeded_a) != lengths(base)
+        assert lengths(seeded_a) != lengths(other)
+
+    def test_seed_preserves_published_counts(self):
+        base = get_circuit("buffer60", "full")
+        seeded = get_circuit("buffer60", "full", seed=3)
+        assert seeded.netlist.num_microstrips == base.netlist.num_microstrips
+        assert seeded.netlist.num_devices == base.netlist.num_devices
+
+    def test_seed_jitter_is_bounded(self):
+        base = get_circuit("lna60", "reduced").netlist
+        seeded = get_circuit("lna60", "reduced", seed=9).netlist
+        for reference, jittered in zip(base.microstrips, seeded.microstrips):
+            assert jittered.name == reference.name
+            ratio = jittered.target_length / reference.target_length
+            assert 0.90 < ratio < 1.10
+
+    def test_spec_seed_equivalent_to_builder_seed(self):
+        from dataclasses import replace
+
+        from repro.circuits import lna94_spec
+
+        spec = replace(lna94_spec(), seed=5)
+        via_spec = build_amplifier_circuit(spec).netlist
+        via_kwarg = build_amplifier_circuit(lna94_spec(), seed=5).netlist
+        assert [net.target_length for net in via_spec.microstrips] == [
+            net.target_length for net in via_kwarg.microstrips
+        ]

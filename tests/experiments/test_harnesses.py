@@ -183,3 +183,84 @@ class TestFigure11Harness:
         # baseline has many serpentine bends: the gain ordering must match
         # the paper's Figure 11.
         assert result.shape_holds()
+
+
+@pytest.fixture
+def patched_job_run(monkeypatch, pilp_small_result, manual_small_result):
+    """Make LayoutJob.run return the pre-solved session results by flow."""
+    from repro.runner import jobs as jobs_module
+
+    calls = {"count": 0}
+
+    def fake_run(self):
+        calls["count"] += 1
+        return pilp_small_result if self.flow == "pilp" else manual_small_result
+
+    monkeypatch.setattr(jobs_module.LayoutJob, "run", fake_run)
+    return calls
+
+
+class TestTable1ThroughRunner:
+    def test_rows_match_inline_harness(self, patched_table1, patched_job_run):
+        from repro.runner import BatchRunner
+
+        inline = run_table1_circuit("lna94")
+        batched = run_table1_circuit("lna94", runner=BatchRunner(workers=0))
+        assert len(batched.rows) == len(inline.rows) == 2
+        for inline_row, batched_row in zip(inline.rows, batched.rows):
+            assert batched_row.circuit == inline_row.circuit
+            assert batched_row.pilp_total_bends == inline_row.pilp_total_bends
+            assert batched_row.pilp_max_bends == inline_row.pilp_max_bends
+            assert batched_row.manual_total_bends == inline_row.manual_total_bends
+        assert "lna94[0].manual" in batched.flow_results
+        assert "lna94[1].pilp" in batched.flow_results
+
+    def test_full_table_is_one_batch(self, patched_table1, patched_job_run, monkeypatch):
+        from repro.experiments import table1 as table1_module
+        from repro.runner import BatchRunner
+
+        monkeypatch.setattr(table1_module, "circuit_names", lambda: ["lna94"])
+        result = table1_module.run_table1(runner=BatchRunner(workers=0))
+        assert len(result.rows) == 2
+
+    def test_cache_serves_second_run(self, patched_table1, patched_job_run, tmp_path):
+        from repro.runner import BatchRunner
+
+        run_table1_circuit("lna94", runner=BatchRunner(cache_dir=tmp_path, workers=0))
+        solves_before = patched_job_run["count"]
+        assert solves_before > 0
+
+        second = run_table1_circuit(
+            "lna94", runner=BatchRunner(cache_dir=tmp_path, workers=0)
+        )
+        assert patched_job_run["count"] == solves_before
+        assert len(second.rows) == 2
+
+    def test_failed_job_raises_experiment_error(
+        self, patched_table1, monkeypatch
+    ):
+        from repro.runner import jobs as jobs_module
+        from repro.runner import BatchRunner
+
+        def broken_run(self):
+            raise RuntimeError("solver exploded")
+
+        monkeypatch.setattr(jobs_module.LayoutJob, "run", broken_run)
+        with pytest.raises(ExperimentError):
+            run_table1_circuit("lna94", runner=BatchRunner(workers=0))
+
+
+class TestFigure11ThroughRunner:
+    def test_matches_inline_harness(self, patched_figure11, patched_job_run):
+        from repro.runner import BatchRunner
+
+        inline = run_figure11_circuit("buffer60")
+        batched = run_figure11_circuit("buffer60", runner=BatchRunner(workers=0))
+        assert batched.circuit == inline.circuit
+        assert batched.pilp.gain_db_at_f0 == pytest.approx(
+            inline.pilp.gain_db_at_f0, abs=1e-6
+        )
+        assert batched.manual.gain_db_at_f0 == pytest.approx(
+            inline.manual.gain_db_at_f0, abs=1e-6
+        )
+        assert batched.shape_holds() == inline.shape_holds()

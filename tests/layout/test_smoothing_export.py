@@ -127,3 +127,24 @@ class TestJsonExport:
         hand_layout.metadata["flow"] = "hand"
         path = save_layout(hand_layout, tmp_path / "layout.json")
         assert load_layout(path).metadata["flow"] == "hand"
+
+
+class TestExportersCreateParentDirectories:
+    """Runner artifact paths like ``cache/ab/cd12/layout.json`` must just work."""
+
+    def test_save_layout_creates_nested_directories(self, hand_layout, tmp_path):
+        target = tmp_path / "cache" / "ab" / "cd1234" / "layout.json"
+        assert not target.parent.exists()
+        written = save_layout(hand_layout, target)
+        assert written == target
+        assert target.is_file()
+        assert load_layout(target).is_complete
+
+    def test_save_svg_creates_nested_directories(self, hand_layout, tmp_path):
+        from repro.layout.export_svg import save_svg
+
+        target = tmp_path / "artifacts" / "deep" / "layout.svg"
+        assert not target.parent.exists()
+        written = save_svg(hand_layout, target)
+        assert written == target
+        assert target.read_text().startswith("<svg")

@@ -1,0 +1,213 @@
+"""Worker pool: parallelism, crash isolation, timeouts, dedup, cancellation.
+
+The rigged job subclasses below override ``run()`` so no MILP solver is
+involved; the pool only ever sees ``LayoutJob`` objects, which keeps these
+tests fast while exercising the real scheduling machinery (fork, queues,
+termination).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.geometry import ManhattanPath, Point
+from repro.layout import Layout, Placement, RoutedMicrostrip
+from repro.layout.drc import DRCReport, run_drc
+from repro.layout.metrics import compute_metrics
+from repro.core.result import FlowResult
+from repro.runner import BatchRunner, LayoutJob, ResultCache, WorkerPool
+from tests.conftest import build_tiny_netlist
+
+
+def make_flow_result(clean: bool = False) -> FlowResult:
+    """A hand-built FlowResult on the tiny netlist (no solver involved)."""
+    netlist = build_tiny_netlist()
+    layout = Layout(netlist)
+    layout.set_placement(Placement("P_IN", Point(30.0, 150.0)))
+    layout.set_placement(Placement("P_OUT", Point(370.0, 150.0)))
+    layout.set_placement(Placement("M1", Point(200.0, 150.0)))
+    gate = layout.pin_position("M1", "G")
+    drain = layout.pin_position("M1", "D")
+    pad_in = layout.pin_position("P_IN", "SIG")
+    pad_out = layout.pin_position("P_OUT", "SIG")
+    layout.set_route(
+        RoutedMicrostrip(
+            "ms_in", ManhattanPath([pad_in, Point(gate.x, pad_in.y), gate], width=10.0)
+        )
+    )
+    layout.set_route(
+        RoutedMicrostrip(
+            "ms_out",
+            ManhattanPath([drain, Point(pad_out.x, drain.y), pad_out], width=10.0),
+        )
+    )
+    return FlowResult(
+        flow="rigged",
+        circuit=netlist.name,
+        layout=layout,
+        metrics=compute_metrics(layout),
+        drc=DRCReport(violations=[]) if clean else run_drc(layout),
+        runtime=0.01,
+    )
+
+
+class QuickJob(LayoutJob):
+    """Returns a hand-built result immediately."""
+
+    def run(self):
+        return make_flow_result()
+
+
+class CleanJob(LayoutJob):
+    """Returns a DRC-clean result immediately."""
+
+    def run(self):
+        return make_flow_result(clean=True)
+
+
+class FailingJob(LayoutJob):
+    """Raises inside the worker (exception isolation)."""
+
+    def run(self):
+        raise ValueError("rigged failure")
+
+
+class CrashingJob(LayoutJob):
+    """Dies without reporting (hard-crash isolation)."""
+
+    def run(self):
+        os._exit(17)
+
+
+class SleepyJob(LayoutJob):
+    """Outlives any reasonable per-job timeout."""
+
+    def run(self):
+        time.sleep(30.0)
+        return make_flow_result()
+
+
+def quick(tag, cls=QuickJob):
+    return cls(flow="manual", netlist=build_tiny_netlist(), tag=tag)
+
+
+class TestPoolExecution:
+    def test_parallel_batch_preserves_input_order(self):
+        jobs = [quick(f"j{i}") for i in range(4)]
+        outcomes = WorkerPool(workers=2).run(jobs)
+        assert [o.status for o in outcomes] == ["completed"] * 4
+        assert [o.job.tag for o in outcomes] == ["j0", "j1", "j2", "j3"]
+        assert all(o.summary["circuit"] == "tiny" for o in outcomes)
+
+    def test_flow_result_without_cache_uses_layout_doc(self):
+        outcome = WorkerPool(workers=1).run([quick("doc")])[0]
+        assert outcome.layout_doc is not None
+        rebuilt = outcome.flow_result()
+        assert rebuilt.circuit == "tiny"
+        assert (
+            rebuilt.metrics.total_bend_count
+            == make_flow_result().metrics.total_bend_count
+        )
+
+    def test_exception_is_isolated(self):
+        jobs = [quick("a"), quick("b", FailingJob), quick("c")]
+        outcomes = WorkerPool(workers=2).run(jobs)
+        assert [o.status for o in outcomes] == ["completed", "failed", "completed"]
+        assert "rigged failure" in outcomes[1].error
+        with pytest.raises(RuntimeError):
+            outcomes[1].flow_result()
+
+    def test_crash_is_isolated(self):
+        jobs = [quick("a"), quick("b", CrashingJob)]
+        outcomes = WorkerPool(workers=2).run(jobs)
+        assert outcomes[0].status == "completed"
+        assert outcomes[1].status == "failed"
+        assert "crashed" in outcomes[1].error
+        assert "17" in outcomes[1].error
+
+    def test_timeout_terminates_job(self):
+        jobs = [quick("slow", SleepyJob), quick("fast")]
+        started = time.perf_counter()
+        outcomes = WorkerPool(workers=2, job_timeout=1.0).run(jobs)
+        elapsed = time.perf_counter() - started
+        assert outcomes[0].status == "timeout"
+        assert outcomes[1].status == "completed"
+        assert elapsed < 15.0
+
+    def test_identical_jobs_run_once(self, tmp_path):
+        events = []
+        cache = ResultCache(tmp_path)
+        pool = WorkerPool(workers=2, cache=cache, progress=events.append)
+        job_a = quick("same")
+        job_b = quick("same")
+        assert job_a.content_hash == job_b.content_hash
+        outcomes = pool.run([job_a, job_b])
+        assert [o.status for o in outcomes] == ["completed", "completed"]
+        assert sum(1 for e in events if e.kind == "started") == 1
+        assert outcomes[1].summary == outcomes[0].summary
+
+    def test_stop_when_cancels_remaining(self):
+        jobs = [quick("first"), quick("hang", SleepyJob), quick("never")]
+        outcomes = WorkerPool(workers=1).run(
+            jobs, stop_when=lambda outcome: outcome.ok
+        )
+        assert outcomes[0].status == "completed"
+        assert {outcomes[1].status, outcomes[2].status} == {"cancelled"}
+
+
+class TestCacheIntegration:
+    def test_workers_populate_and_hit_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = quick("cacheme")
+        first = WorkerPool(workers=1, cache=cache).run([job])[0]
+        assert first.status == "completed"
+        assert first.entry is not None
+        second = WorkerPool(workers=1, cache=cache).run([job])[0]
+        assert second.status == "cached"
+        assert (
+            second.flow_result().metrics.total_bend_count
+            == make_flow_result().metrics.total_bend_count
+        )
+
+    def test_inline_mode_with_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        pool = WorkerPool(workers=0, cache=cache)
+        assert pool.run([quick("inline")])[0].status == "completed"
+        assert pool.run([quick("inline")])[0].status == "cached"
+        assert cache.stats.hits == 1
+
+    def test_inline_mode_isolates_exceptions(self):
+        outcomes = WorkerPool(workers=0).run([quick("x", FailingJob), quick("y")])
+        assert [o.status for o in outcomes] == ["failed", "completed"]
+
+
+class TestProgressEvents:
+    def test_event_sequence(self):
+        events = []
+        WorkerPool(workers=1, progress=events.append).run([quick("events")])
+        kinds = [event.kind for event in events]
+        assert kinds == ["submitted", "started", "completed"]
+        assert events[-1].label == "tiny:manual"
+        assert str(events[-1]).startswith("tiny:manual")
+
+
+class TestBatchRunner:
+    def test_facade_round_trip(self, tmp_path):
+        runner = BatchRunner(cache_dir=tmp_path, workers=1)
+        outcome = runner.run_one(quick("facade"))
+        assert outcome.status == "completed"
+        assert runner.run_one(quick("facade")).status == "cached"
+        stats = runner.cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_no_cache_configured(self):
+        runner = BatchRunner(workers=0)
+        assert runner.cache is None
+        assert runner.cache_stats() == {}
+        assert runner.run_one(quick("nocache")).ok
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=-1)

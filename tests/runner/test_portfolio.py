@@ -1,0 +1,135 @@
+"""Portfolio racing: variant configs, winner selection, loser cancellation."""
+
+import time
+
+import pytest
+
+from repro.ilp.backends import get_backend
+from repro.core.config import PILPConfig
+from repro.runner import (
+    BatchRunner,
+    LayoutJob,
+    PortfolioVariant,
+    default_variants,
+    run_portfolio,
+    run_portfolio_batch,
+)
+from tests.conftest import build_tiny_netlist
+from tests.runner.test_pool import make_flow_result
+
+
+class RiggedJob(LayoutJob):
+    """Behaviour keyed on the portfolio variant name.
+
+    ``*clean*`` variants return a DRC-clean result; ``*slow*`` variants
+    hang (they must be cancelled for the test to finish quickly); anything
+    else returns a valid but dirty result.
+    """
+
+    def run(self):
+        if "slow" in self.variant:
+            time.sleep(30.0)
+        if "clean" in self.variant:
+            return make_flow_result(clean=True)
+        return make_flow_result(clean=False)
+
+
+def rigged_job():
+    return RiggedJob(flow="pilp", netlist=build_tiny_netlist())
+
+
+def variants(*names):
+    """Distinct-config variants (portfolio entries must hash differently)."""
+    scales = (0.9, 0.8, 0.7, 0.6)
+    return [
+        PortfolioVariant(name, time_limit_scale=scales[index])
+        for index, name in enumerate(names)
+    ]
+
+
+class TestVariantConfigs:
+    def test_apply_rewrites_all_phases(self):
+        variant = PortfolioVariant(
+            "cold", phase_overrides={"warm_start": False, "progressive": False}
+        )
+        config = variant.apply(PILPConfig())
+        for phase in (config.phase1, config.phase2, config.phase3, config.exact):
+            assert phase.warm_start is False
+            assert phase.progressive is False
+
+    def test_apply_scales_time_limits(self):
+        variant = PortfolioVariant("half", time_limit_scale=0.5)
+        base = PILPConfig()
+        config = variant.apply(base)
+        assert config.phase1.time_limit == pytest.approx(base.phase1.time_limit * 0.5)
+
+    def test_apply_config_overrides(self):
+        variant = PortfolioVariant("short", config_overrides={"max_refinement_iterations": 1})
+        assert variant.apply(PILPConfig()).max_refinement_iterations == 1
+
+    def test_default_variants_use_real_backends(self):
+        for variant in default_variants():
+            config = variant.apply(PILPConfig())
+            get_backend(config.phase1.backend)  # must not raise
+
+    def test_default_variants_have_distinct_hashes(self):
+        job = rigged_job()
+        hashes = {
+            job.with_config(variant.apply(job.config), variant=variant.name).content_hash
+            for variant in default_variants()
+        }
+        assert len(hashes) == len(default_variants())
+
+
+class TestRacing:
+    def test_first_clean_wins_and_losers_are_cancelled(self):
+        runner = BatchRunner(workers=2)
+        started = time.perf_counter()
+        race = run_portfolio(rigged_job(), runner, variants("clean-fast", "slow-hog"))
+        assert time.perf_counter() - started < 15.0
+        assert race.drc_clean
+        assert race.winner_variant == "clean-fast"
+        by_variant = {outcome.job.variant: outcome for outcome in race.outcomes}
+        assert by_variant["slow-hog"].status == "cancelled"
+
+    def test_clean_whenever_any_variant_finds_one(self):
+        runner = BatchRunner(workers=2)
+        race = run_portfolio(rigged_job(), runner, variants("dirty-a", "clean-late"))
+        assert race.drc_clean
+        assert race.winner_variant == "clean-late"
+
+    def test_no_clean_result_picks_best_score(self):
+        runner = BatchRunner(workers=2)
+        race = run_portfolio(rigged_job(), runner, variants("dirty-a", "dirty-b"))
+        assert race.winner is not None
+        assert not race.drc_clean
+        assert race.winner.ok
+
+    def test_all_variants_failing_yields_no_winner(self):
+        class DoomedJob(LayoutJob):
+            def run(self):
+                raise RuntimeError("nope")
+
+        runner = BatchRunner(workers=2)
+        job = DoomedJob(flow="pilp", netlist=build_tiny_netlist())
+        race = run_portfolio(job, runner, variants("dirty-a", "dirty-b"))
+        assert race.winner is None
+        assert race.row()["status"] == "failed"
+
+    def test_portfolio_batch_and_rows(self):
+        runner = BatchRunner(workers=2)
+        races = run_portfolio_batch(
+            [rigged_job(), rigged_job()], runner, variants("clean-a", "dirty-b")
+        )
+        assert len(races) == 2
+        for race in races:
+            assert race.drc_clean
+            row = race.row()
+            assert row["variant"] == "clean-a"
+            assert row["status"] in ("completed", "cached")
+
+    def test_inline_racing_works(self):
+        runner = BatchRunner(workers=0)
+        race = run_portfolio(rigged_job(), runner, variants("clean-a", "dirty-b"))
+        assert race.drc_clean
+        assert race.winner_variant == "clean-a"

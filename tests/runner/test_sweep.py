@@ -1,0 +1,87 @@
+"""Scenario sweeps: feasible specs, grid expansion, seed determinism."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.circuit.netlist import LayoutArea
+from repro.circuits.generator import build_amplifier_circuit
+from repro.core.config import PILPConfig
+from repro.runner import SweepSpec, amplifier_spec_for, generate_sweep, scenario_name
+
+
+class TestAmplifierSpecFor:
+    @pytest.mark.parametrize("stages", [1, 2, 3])
+    def test_counts_are_feasible_and_exact(self, stages):
+        spec = amplifier_spec_for(stages, 60.0, LayoutArea(900.0, 500.0))
+        circuit = build_amplifier_circuit(spec)
+        assert circuit.netlist.num_devices == spec.num_devices
+        assert circuit.netlist.num_microstrips == spec.num_microstrips
+        assert circuit.spec.num_stages == stages
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            amplifier_spec_for(0, 60.0, LayoutArea(600.0, 400.0))
+        with pytest.raises(ConfigurationError):
+            amplifier_spec_for(2, 60.0, LayoutArea(600.0, 400.0), extra_branches=-1)
+
+    def test_scenario_name_encodes_parameters(self):
+        name = scenario_name(2, 94.0, LayoutArea(620.0, 430.0), seed=7)
+        assert name == "amp2s_94g_620x430_s7"
+        assert scenario_name(1, 60.0, LayoutArea(620.0, 430.0)) == "amp1s_60g_620x430"
+
+
+class TestSweepSpec:
+    def test_grid_size(self):
+        spec = SweepSpec(
+            frequencies_ghz=(57.0, 60.0, 64.0),
+            stage_counts=(1, 2),
+            area_scales=(1.0, 0.9),
+            seeds=(None, 1),
+        )
+        assert len(spec) == 24
+        assert len(list(spec.specs())) == 24
+
+    def test_empty_grid_dimension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(frequencies_ghz=())
+
+    def test_area_scales_with_stage_count(self):
+        spec = SweepSpec()
+        assert spec.area_for(3, 1.0).width > spec.area_for(2, 1.0).width
+        assert spec.area_for(2, 0.8).height < spec.area_for(2, 1.0).height
+
+
+class TestGenerateSweep:
+    def test_jobs_are_distinct_and_labelled(self):
+        jobs = generate_sweep(
+            SweepSpec(frequencies_ghz=(60.0, 94.0), seeds=(1, 2)),
+            config=PILPConfig.fast(),
+        )
+        assert len(jobs) == 4
+        assert len({job.content_hash for job in jobs}) == 4
+        assert all(job.label.endswith(":pilp") for job in jobs)
+        assert all(job.flow == "pilp" for job in jobs)
+
+    def test_seed_jitter_is_deterministic(self):
+        make = lambda seed: generate_sweep(
+            SweepSpec(seeds=(seed,)), config=PILPConfig.fast()
+        )[0]
+        assert make(3).content_hash == make(3).content_hash
+        assert make(3).content_hash != make(4).content_hash
+
+    def test_seeded_lengths_differ_but_counts_match(self):
+        unseeded, seeded = (
+            generate_sweep(SweepSpec(seeds=(seed,)), config=PILPConfig.fast())[0]
+            for seed in (None, 11)
+        )
+        base = unseeded.resolve_netlist()
+        jittered = seeded.resolve_netlist()
+        assert base.num_microstrips == jittered.num_microstrips
+        assert base.num_devices == jittered.num_devices
+        base_lengths = [net.target_length for net in base.microstrips]
+        jittered_lengths = [net.target_length for net in jittered.microstrips]
+        assert base_lengths != jittered_lengths
+
+    def test_flow_override(self):
+        jobs = generate_sweep(SweepSpec(), flow="manual")
+        assert jobs[0].flow == "manual"

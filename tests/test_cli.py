@@ -66,3 +66,95 @@ class TestGenerateCommand:
         assert document["circuit"] == "tiny"
         printed = capsys.readouterr().out
         assert "manual flow result" in printed
+
+
+class TestGenerateSeed:
+    def test_seed_on_benchmark_circuit(self, tmp_path, capsys):
+        output_path = tmp_path / "seeded.json"
+        code = main(
+            [
+                "generate", "lna60", "--flow", "manual",
+                "--seed", "7", "--output", str(output_path),
+            ]
+        )
+        assert code == 0
+        seeded = json.loads(output_path.read_text())
+
+        unseeded_path = tmp_path / "unseeded.json"
+        main(["generate", "lna60", "--flow", "manual", "--output", str(unseeded_path)])
+        unseeded = json.loads(unseeded_path.read_text())
+        capsys.readouterr()
+
+        seeded_lengths = sorted(
+            net["target_length"] for net in seeded["netlist"]["microstrips"]
+        )
+        unseeded_lengths = sorted(
+            net["target_length"] for net in unseeded["netlist"]["microstrips"]
+        )
+        assert seeded_lengths != unseeded_lengths
+
+
+class TestBatchCommand:
+    def test_batch_parser_rejects_bad_flow(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["batch", "--flow", "magic"])
+
+    def test_unknown_circuit_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["batch", "nosuch", "--cache-dir", str(tmp_path)])
+
+    def test_batch_cold_then_cached(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = [
+            "batch", "lna60", "--flow", "manual",
+            "--cache-dir", str(cache_dir), "--workers", "0",
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "completed" in cold
+        assert "0 hit(s)" in cold
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "cached" in warm
+        assert "1 hit(s)" in warm
+
+    def test_batch_json_output(self, tmp_path, capsys):
+        rows_path = tmp_path / "rows.json"
+        code = main(
+            [
+                "batch", "lna60", "--flow", "manual", "--no-cache",
+                "--workers", "0", "--quiet", "--json", str(rows_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        rows = json.loads(rows_path.read_text())
+        assert len(rows) == 1
+        assert rows[0]["status"] == "completed"
+        assert rows[0]["job"] == "lna60[0]:manual"
+
+    def test_batch_all_areas_adds_jobs(self, tmp_path, capsys):
+        code = main(
+            [
+                "batch", "lna60", "--flow", "manual", "--all-areas",
+                "--no-cache", "--workers", "0", "--quiet",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "lna60[0]:manual" in output
+        assert "lna60[1]:manual" in output
+
+    def test_batch_sweep_generates_workload(self, tmp_path, capsys):
+        code = main(
+            [
+                "batch", "--flow", "manual", "--no-cache", "--workers", "0",
+                "--quiet", "--sweep-stages", "1", "--sweep-seeds", "1,2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "amp1s_" in output
+        assert "running 2 job(s)" in output

@@ -70,3 +70,35 @@ def test_rf_propagation_is_memoised():
     # A different grid misses the cache but produces a fresh entry.
     other = line.propagation_constant(freq[:-1])
     assert other is not first
+
+
+def test_runner_cache_short_circuits_execution(tmp_path):
+    """A cache hit must settle a job without invoking its flow."""
+    from repro.runner import BatchRunner, LayoutJob
+    from tests.conftest import build_tiny_netlist
+
+    job = LayoutJob(flow="manual", netlist=build_tiny_netlist())
+    runner = BatchRunner(cache_dir=tmp_path, workers=0)
+    assert runner.run_one(job).status == "completed"
+
+    calls = {"count": 0}
+    original_run = LayoutJob.run
+    try:
+        def counting_run(self):
+            calls["count"] += 1
+            return original_run(self)
+
+        LayoutJob.run = counting_run
+        warm = BatchRunner(cache_dir=tmp_path, workers=0)
+        assert warm.run_one(LayoutJob(flow="manual", netlist=build_tiny_netlist())).status == "cached"
+    finally:
+        LayoutJob.run = original_run
+    assert calls["count"] == 0
+
+
+def test_job_hash_is_cached_per_instance(tiny_netlist):
+    """Hashing canonicalises the whole netlist; it must only happen once."""
+    from repro.runner import LayoutJob
+
+    job = LayoutJob(flow="pilp", netlist=tiny_netlist)
+    assert job.content_hash is job.content_hash
