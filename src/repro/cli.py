@@ -15,6 +15,13 @@ Sub-commands
     Regenerate (part of) the paper's Figure 11 and print the gain summary.
 ``circuits``
     List the reconstructed benchmark circuits and their statistics.
+``serve``
+    Run the persistent layout-generation service: durable job queue,
+    HTTP API, Server-Sent-Events progress streaming.
+``submit``
+    Submit a job to a running service (optionally wait / stream events).
+``status``
+    Query a running service: one job's record, or the ``/stats`` summary.
 """
 
 from __future__ import annotations
@@ -39,12 +46,37 @@ from repro.layout.export_json import save_layout
 from repro.layout.export_svg import save_svg
 
 
+_EPILOG = """\
+service sub-commands:
+  serve    run the persistent layout-generation service.  Jobs submitted over
+           HTTP are journaled to <data-dir>/journal.jsonl (they survive daemon
+           restarts), deduplicated against in-flight work and the
+           content-addressed result cache, and dispatched with priority
+           classes (interactive > batch > background) and per-client fairness.
+           Endpoints: POST /jobs, GET /jobs[/{hash}[/layout.json|layout.svg|
+           events]], GET /stats.  /events is a Server-Sent-Events stream of
+           the job lifecycle (queued -> running -> done).
+  submit   submit one netlist/benchmark-circuit job to a running service;
+           --wait polls to completion, --watch streams its SSE events.
+  status   show one job's record, or the service-wide /stats summary
+           (queue depth, per-state counts, cache hit/miss statistics).
+
+examples:
+  rfic-layout serve --port 8080 --data-dir .rfic-service
+  rfic-layout submit buffer60 --flow manual --service http://127.0.0.1:8080 --wait
+  rfic-layout status --service http://127.0.0.1:8080
+  rfic-layout table1 --fast --service http://127.0.0.1:8080
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for the CLI tests)."""
     parser = argparse.ArgumentParser(
         prog="rfic-layout",
         description="RFIC layout generation with concurrent placement and "
         "fixed-length microstrip routing (DAC 2016 reproduction)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -121,7 +153,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="generator jitter seeds of the sweep scenarios",
     )
     batch.add_argument("--quiet", action="store_true", help="suppress per-job progress lines")
-    batch.add_argument("--json", default=None, help="write the outcome rows to this JSON file")
+    batch.add_argument(
+        "--json", default=None,
+        help="write the results to this JSON file: an object with the outcome "
+        "'rows' plus a 'cache' footer (hit/miss/store counters)",
+    )
+    batch.add_argument(
+        "--keep-going", action="store_true",
+        help="keep running the remaining jobs after a failure or timeout "
+        "(default: the first broken job cancels the rest); either way the "
+        "exit status is non-zero when any job failed or timed out",
+    )
 
     table1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--circuit", choices=circuit_names(), default=None, help="restrict to one circuit")
@@ -138,6 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="result cache directory for the batch runner (implies runner use)",
     )
+    table1.add_argument(
+        "--service", default=None, metavar="URL",
+        help="run the flows through a remote rfic-layout service at this URL",
+    )
 
     figure11 = subparsers.add_parser("figure11", help="regenerate the paper's Figure 11")
     figure11.add_argument("--circuit", choices=list(FIGURE11_CIRCUITS), default=None)
@@ -153,9 +199,102 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="result cache directory for the batch runner (implies runner use)",
     )
+    figure11.add_argument(
+        "--service", default=None, metavar="URL",
+        help="run the flows through a remote rfic-layout service at this URL",
+    )
 
     circuits = subparsers.add_parser("circuits", help="list the benchmark circuits")
     circuits.add_argument("--variant", choices=("full", "reduced"), default=None)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the persistent layout-generation service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (0 = ephemeral; see --port-file)",
+    )
+    serve.add_argument(
+        "--port-file", default=None,
+        help="write the bound port to this file once listening (atomic write; "
+        "pair with --port 0)",
+    )
+    serve.add_argument(
+        "--data-dir", default=".rfic-service",
+        help="durable state: journal.jsonl plus the default cache location "
+        "(default: .rfic-service)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed result cache (default: <data-dir>/cache)",
+    )
+    serve.add_argument(
+        "--dispatchers", type=int, default=2,
+        help="concurrent dispatcher threads (default: 2)",
+    )
+    serve.add_argument(
+        "--inline", action="store_true",
+        help="run jobs inside the dispatcher threads instead of per-job worker "
+        "processes (faster for tiny jobs; no crash isolation or timeouts)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+    serve.add_argument("--quiet", action="store_true", help="suppress per-event log lines")
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a job to a running service"
+    )
+    submit.add_argument(
+        "netlist", help="path to a netlist JSON file, or a benchmark circuit name"
+    )
+    submit.add_argument(
+        "--service", default="http://127.0.0.1:8080", metavar="URL",
+        help="service base URL (default: http://127.0.0.1:8080)",
+    )
+    submit.add_argument(
+        "--flow", choices=("pilp", "exact", "manual"), default="pilp",
+        help="which flow to run (default: pilp)",
+    )
+    submit.add_argument("--fast", action="store_true", help="use the fast configuration")
+    submit.add_argument("--time-limit", type=float, default=None, help="per-phase solver time limit (s)")
+    submit.add_argument("--seed", type=int, default=None, help="RNG seed for the flow heuristics")
+    submit.add_argument(
+        "--priority", choices=("interactive", "batch", "background"), default=None,
+        help="admission priority class (default: batch)",
+    )
+    submit.add_argument(
+        "--client", default=None,
+        help="client identity for the service's per-client fairness",
+    )
+    submit.add_argument(
+        "--tag", default="",
+        help="extra hash salt forcing a distinct job / cache entry",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job settles; exit non-zero unless it ends 'done'",
+    )
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="stream the job's Server-Sent Events until it settles (implies --wait)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up waiting/watching after this many seconds",
+    )
+
+    status = subparsers.add_parser("status", help="query a running service")
+    status.add_argument(
+        "key", nargs="?", default=None,
+        help="job content hash (omit for the service-wide /stats summary)",
+    )
+    status.add_argument(
+        "--service", default="http://127.0.0.1:8080", metavar="URL",
+        help="service base URL (default: http://127.0.0.1:8080)",
+    )
+    status.add_argument("--json", action="store_true", help="print the raw JSON document")
 
     return parser
 
@@ -176,16 +315,30 @@ def _config_from_args(args: argparse.Namespace) -> PILPConfig:
     return config
 
 
-def _load_netlist_argument(argument: str, seed: Optional[int] = None):
+def _resolve_netlist_source(argument: str):
+    """A netlist argument is either an existing file or a benchmark name.
+
+    Returns a :class:`Path` for files and the circuit name string for
+    benchmark circuits — callers that can stay lazy (``submit`` ships a
+    :class:`GeneratorSpec` instead of a materialised netlist) dispatch on
+    the type.
+    """
     path = Path(argument)
     if path.exists():
-        return load_netlist(path)
+        return path
     if argument in circuit_names():
-        return get_circuit(argument, seed=seed).netlist
+        return argument
     raise SystemExit(
         f"error: {argument!r} is neither an existing netlist file nor one of the "
         f"benchmark circuits {circuit_names()}"
     )
+
+
+def _load_netlist_argument(argument: str, seed: Optional[int] = None):
+    source = _resolve_netlist_source(argument)
+    if isinstance(source, Path):
+        return load_netlist(source)
+    return get_circuit(source, seed=seed).netlist
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -208,7 +361,18 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _runner_from_args(args: argparse.Namespace):
-    """A BatchRunner when --workers / --cache-dir were given, else None."""
+    """A runner when requested, else None.
+
+    ``--service URL`` yields a :class:`~repro.service.client.RemoteRunner`
+    targeting a running daemon; ``--workers`` / ``--cache-dir`` yield a
+    local :class:`~repro.runner.pool.BatchRunner`.  The experiment
+    harnesses consume either through the same interface.
+    """
+    service = getattr(args, "service", None)
+    if service is not None:
+        from repro.service import RemoteRunner
+
+        return RemoteRunner(service, client="rfic-layout-cli")
     workers = getattr(args, "workers", None)
     cache_dir = getattr(args, "cache_dir", None)
     if workers is None and cache_dir is None:
@@ -245,7 +409,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         LayoutJob,
         SweepSpec,
         generate_sweep,
-        run_portfolio_batch,
+        run_portfolio,
     )
 
     config = _config_from_args(args)
@@ -297,24 +461,54 @@ def _command_batch(args: argparse.Namespace) -> int:
     print(f"running {len(jobs)} job(s) on {runner.workers} worker(s)...")
 
     if args.portfolio:
-        races = run_portfolio_batch(jobs, runner)
+        races = []
+        skipped = []
+        for index, job in enumerate(jobs):
+            race = run_portfolio(job, runner)
+            races.append(race)
+            if race.winner is None and not args.keep_going:
+                print(f"stopping after broken race {job.describe()!r} (no --keep-going)")
+                skipped = jobs[index + 1 :]
+                break
         rows = [race.row() for race in races]
+        rows.extend(
+            {"job": job.describe(), "status": "cancelled", "variant": None}
+            for job in skipped
+        )
         failures = sum(1 for race in races if race.winner is None)
     else:
-        outcomes = runner.run(jobs)
+        # Without --keep-going the first failed/timed-out job cancels the
+        # rest of the batch; cancelled jobs are reported but only genuinely
+        # broken ones drive the exit status.
+        stop_when = (
+            None
+            if args.keep_going
+            else (lambda outcome: outcome.status in ("failed", "timeout"))
+        )
+        outcomes = runner.run(jobs, stop_when=stop_when)
         rows = [outcome.row() for outcome in outcomes]
-        failures = sum(1 for outcome in outcomes if not outcome.ok)
+        failures = sum(1 for outcome in outcomes if outcome.status in ("failed", "timeout"))
 
     print()
     print(format_text_table(rows, title="batch results"))
     stats = runner.cache_stats()
     if stats:
         print(
-            f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es) "
-            f"(hit rate {stats['hit_rate']:.0%})"
+            f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+            f"{stats['stores']} store(s) (hit rate {stats['hit_rate']:.0%})"
         )
+    if failures:
+        print(f"{failures} job(s) failed or timed out")
     if args.json:
-        save_rows(rows, args.json)
+        save_rows(
+            {
+                "rows": rows,
+                "cache": stats or None,
+                "failures": failures,
+                "keep_going": bool(args.keep_going),
+            },
+            args.json,
+        )
         print(f"rows written to {args.json}")
     return 1 if failures else 0
 
@@ -357,6 +551,151 @@ def _command_figure11(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_service_event(event) -> None:
+    detail = f" {event['detail']}" if event.get("detail") else ""
+    runtime = f" {event['runtime']:.1f}s" if event.get("runtime") else ""
+    print(f"  [{event['kind']:>8}] {event['label']}{runtime}{detail}", flush=True)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.service import LayoutService
+
+    service = LayoutService(
+        data_dir=args.data_dir,
+        cache_dir=args.cache_dir,
+        concurrency=args.dispatchers,
+        inline=args.inline,
+        job_timeout=args.job_timeout,
+    )
+    service.bind(host=args.host, port=args.port)
+    service.start()
+    if args.port_file:
+        service.write_port_file(args.port_file)
+    if not args.quiet:
+        subscription = service.scheduler.bus.subscribe(None, replay=False)
+
+        def _pump() -> None:
+            while True:
+                event = subscription.get(timeout=1.0)
+                if event is not None:
+                    _print_service_event(event)
+
+        threading.Thread(target=_pump, daemon=True, name="event-log").start()
+    replayed = service.scheduler.stats()["replayed_from_journal"]
+    print(
+        f"rfic-layout service listening on http://{args.host}:{service.port} "
+        f"({args.dispatchers} dispatcher(s), "
+        f"{'inline' if args.inline else 'process'} execution)",
+        flush=True,
+    )
+    print(
+        f"journal: {service.queue.journal_path} "
+        f"({replayed} pending job(s) replayed); cache: {service.cache.root}",
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down...", flush=True)
+    finally:
+        service.shutdown()
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from repro.runner import GeneratorSpec, LayoutJob
+    from repro.service import ServiceClient
+
+    config = _config_from_args(args)
+    source = _resolve_netlist_source(args.netlist)
+    if isinstance(source, Path):
+        job = LayoutJob(
+            flow=args.flow, netlist=load_netlist(source), config=config, tag=args.tag
+        )
+    else:
+        # Stay lazy: the tiny generator recipe travels, the daemon builds
+        # the netlist (and hashes the resolved form, as always).
+        job = LayoutJob(
+            flow=args.flow,
+            generator=GeneratorSpec(source, seed=args.seed),
+            config=config,
+            tag=args.tag,
+        )
+    from repro.service import ServiceError
+
+    client = ServiceClient(args.service)
+    try:
+        response = client.submit_job(job, priority=args.priority, client=args.client)
+        key = response["key"]
+        print(
+            f"job {key[:12]} ({response['label']}): {response['disposition']} "
+            f"[state: {response['state']}]"
+        )
+        if args.watch:
+            for event in client.iter_events(key, timeout=args.timeout):
+                _print_service_event(event)
+        if args.wait or args.watch:
+            record = client.wait(key, timeout=args.timeout)
+            if record.get("summary"):
+                print(format_text_table([record["summary"]], title="job result"))
+            state = record["state"]
+            if state != "done":
+                print(f"job settled as {state!r}: {record.get('error') or 'no detail'}")
+                return 1
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}")
+    return 0
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.service)
+    try:
+        return _print_status(client, args)
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _print_status(client, args: argparse.Namespace) -> int:
+    if args.key:
+        record = client.status(args.key)
+        if args.json:
+            print(json.dumps(record, indent=2, sort_keys=True))
+            return 0
+        print(f"job {record['key'][:12]} ({record['label']})")
+        for field in ("state", "priority", "client", "runtime", "attach_count", "error"):
+            if record.get(field) not in (None, "", 0):
+                print(f"  {field}: {record[field]}")
+        if record.get("summary"):
+            print(format_text_table([record["summary"]], title="summary"))
+        return 0
+    stats = client.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"service at {client.base_url} (up {stats['uptime_s']}s)")
+    jobs = stats["jobs"]
+    print(
+        f"  jobs: {stats['queue_depth']} queued, {jobs['running']} running, "
+        f"{jobs['done']} done, {jobs['failed']} failed, "
+        f"{jobs['timeout']} timed out, {jobs['cancelled']} cancelled"
+    )
+    print(
+        f"  work: {stats['solved']} solved, {stats['served_from_cache']} served "
+        f"from cache, {stats['attached']} attached, "
+        f"{stats['replayed_from_journal']} replayed from journal"
+    )
+    cache = stats["cache"]
+    print(
+        f"  cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
+        f"{cache['stores']} store(s) (hit rate {cache['hit_rate']:.0%})"
+    )
+    return 0
+
+
 def _command_circuits(args: argparse.Namespace) -> int:
     rows = []
     for name in circuit_names():
@@ -376,6 +715,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table1": _command_table1,
         "figure11": _command_figure11,
         "circuits": _command_circuits,
+        "serve": _command_serve,
+        "submit": _command_submit,
+        "status": _command_status,
     }
     return handlers[args.command](args)
 

@@ -139,7 +139,10 @@ def run_figure11_circuit(
 
     With ``runner`` set, the two layout runs (manual-like and P-ILP) go
     through the batch runner — concurrent, and cached across invocations;
-    the (cheap) RF simulation always runs inline.
+    the (cheap) RF simulation always runs inline.  A
+    :class:`~repro.service.client.RemoteRunner` works the same way
+    (``rfic-layout figure11 --service URL``): the solves happen in the
+    daemon, the layouts come back from its cache.
     """
     if circuit_name not in FIGURE11_CIRCUITS:
         raise ExperimentError(

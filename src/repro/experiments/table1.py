@@ -151,7 +151,11 @@ def run_table1_circuit(
 
     With ``runner`` set, all flow runs are submitted as one batch through
     the :mod:`repro.runner` pool (parallel across settings, cached on
-    re-runs); otherwise they execute inline as before.
+    re-runs); otherwise they execute inline as before.  Any object with
+    the runner interface works — a local
+    :class:`~repro.runner.pool.BatchRunner` or a
+    :class:`~repro.service.client.RemoteRunner` targeting a running
+    ``rfic-layout serve`` daemon (``rfic-layout table1 --service URL``).
     """
     config = config or PILPConfig()
     if runner is not None:

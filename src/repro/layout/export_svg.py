@@ -41,6 +41,7 @@ def layout_to_svg(
     show_labels: bool = True,
     show_bends: bool = True,
     margin: float = 20.0,
+    title: Optional[str] = None,
 ) -> str:
     """Render a layout as an SVG document string.
 
@@ -59,6 +60,10 @@ def layout_to_svg(
         Mark bend locations of the rectilinear skeleton.
     margin:
         White margin around the layout area in micrometres.
+    title:
+        Optional document title (rendered as the SVG ``<title>`` element —
+        the layout service labels served pictures with the job's label and
+        content hash this way).
     """
     area = layout.netlist.area
     width_px = (area.width + 2 * margin) * scale
@@ -76,6 +81,8 @@ def layout_to_svg(
         f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px:.1f}" '
         f'height="{height_px:.1f}" viewBox="0 0 {width_px:.1f} {height_px:.1f}">'
     )
+    if title:
+        parts.append(f"<title>{html.escape(title)}</title>")
     parts.append(
         f'<rect x="0" y="0" width="{width_px:.1f}" height="{height_px:.1f}" fill="white"/>'
     )

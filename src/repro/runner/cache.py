@@ -60,9 +60,17 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> Dict[str, object]:
+        """Raw counters plus the (rounded) derived rate.
+
+        The raw counts always accompany ``hit_rate``: the rate alone loses
+        information to rounding (49/100 and 0/0 both read ``0.49``/``0.0``
+        shorn of their denominators), and consumers such as the batch JSON
+        footer and the service's ``GET /stats`` aggregate across processes.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "lookups": self.lookups,
             "stores": self.stores,
             "hit_rate": round(self.hit_rate, 3),
         }
@@ -141,7 +149,15 @@ class ResultCache:
 
     def peek(self, job: LayoutJob) -> Optional[CachedResult]:
         """Like :meth:`get` but without touching the hit/miss counters."""
-        key = job.content_hash
+        return self.peek_key(job.content_hash)
+
+    def peek_key(self, key: str) -> Optional[CachedResult]:
+        """Look an entry up by raw content hash (counters untouched).
+
+        This is what the layout service uses to serve ``layout.json`` /
+        ``layout.svg`` for a settled job: at that point only the hash is
+        known — the netlist does not need to be re-resolved.
+        """
         directory = self.entry_dir(key)
         if not self._is_complete(directory):
             return None

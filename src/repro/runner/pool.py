@@ -18,6 +18,12 @@ small configurations.
 
 :class:`BatchRunner` is the convenience facade bundling a cache directory
 with pool settings; it is what the CLI and the experiment harnesses use.
+
+Both classes are **re-entrant**: :meth:`WorkerPool.run` keeps all batch
+state in locals, so several threads may drive batches through one shared
+pool/runner concurrently (the layout service's dispatcher threads do
+exactly that, sharing one runner so all dispatches hit one cache and one
+set of statistics).
 """
 
 from __future__ import annotations
@@ -189,6 +195,7 @@ class WorkerPool:
         self,
         jobs: Sequence[LayoutJob],
         stop_when: Optional[StopPredicate] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> List[JobOutcome]:
         """Run a batch and return one outcome per job, in input order.
 
@@ -196,6 +203,12 @@ class WorkerPool:
         returns True the remaining running jobs are terminated and pending
         jobs are marked ``"cancelled"`` (this is what portfolio racing
         uses to cancel the losers).
+
+        ``progress`` is a per-call callback invoked *in addition to* the
+        pool-wide one: the layout service subscribes each dispatched job's
+        event stream this way without touching the shared pool's state
+        (the method keeps all batch state in locals, so concurrent calls
+        from several threads are safe).
         """
         jobs = list(jobs)
         outcomes: Dict[int, JobOutcome] = {}
@@ -206,7 +219,7 @@ class WorkerPool:
         duplicates: Dict[int, int] = {}
         unique: List[int] = []
         for index, job in enumerate(jobs):
-            self._emit("submitted", job)
+            self._emit("submitted", job, progress=progress)
             key = job.content_hash
             if key in primary_index:
                 duplicates[index] = primary_index[key]
@@ -215,9 +228,9 @@ class WorkerPool:
                 unique.append(index)
 
         if self.workers == 0:
-            self._run_inline(jobs, unique, outcomes, stop_when)
+            self._run_inline(jobs, unique, outcomes, stop_when, progress)
         else:
-            self._run_processes(jobs, unique, outcomes, stop_when)
+            self._run_processes(jobs, unique, outcomes, stop_when, progress)
 
         for index, primary in duplicates.items():
             source = outcomes[primary]
@@ -243,13 +256,15 @@ class WorkerPool:
         unique: List[int],
         outcomes: Dict[int, JobOutcome],
         stop_when: Optional[StopPredicate],
+        progress: Optional[ProgressCallback] = None,
     ) -> None:
         stopped = False
         for index in unique:
             job = jobs[index]
             if stopped:
                 outcomes[index] = self._settle(
-                    JobOutcome(job=job, status="cancelled", error="portfolio settled")
+                    JobOutcome(job=job, status="cancelled", error="portfolio settled"),
+                    progress,
                 )
                 continue
             outcome = self._cache_lookup(job)
@@ -275,7 +290,7 @@ class WorkerPool:
                         layout_doc=None if entry else layout_to_dict(result.layout),
                         phases=result.phase_table(),
                     )
-            outcomes[index] = self._settle(outcome)
+            outcomes[index] = self._settle(outcome, progress)
             if stop_when and stop_when(outcome):
                 stopped = True
 
@@ -289,6 +304,7 @@ class WorkerPool:
         unique: List[int],
         outcomes: Dict[int, JobOutcome],
         stop_when: Optional[StopPredicate],
+        progress: Optional[ProgressCallback] = None,
     ) -> None:
         context = multiprocessing.get_context()
         cache_root = str(self.cache.root) if self.cache is not None else None
@@ -302,7 +318,7 @@ class WorkerPool:
                 job = jobs[index]
                 cached = self._cache_lookup(job)
                 if cached is not None:
-                    outcomes[index] = self._settle(cached)
+                    outcomes[index] = self._settle(cached, progress)
                     if stop_when and stop_when(cached):
                         raise _StopBatch()
                     continue
@@ -315,7 +331,7 @@ class WorkerPool:
                 now = time.perf_counter()
                 deadline = now + self.job_timeout if self.job_timeout else None
                 running[index] = _Running(job, process, receiver, now, deadline)
-                self._emit("started", job)
+                self._emit("started", job, progress=progress)
 
         try:
             launch()
@@ -328,7 +344,7 @@ class WorkerPool:
                         continue
                     del running[index]
                     state.conn.close()
-                    outcomes[index] = self._settle(outcome)
+                    outcomes[index] = self._settle(outcome, progress)
                     if stop_when and stop_when(outcome):
                         raise _StopBatch()
                 launch()
@@ -347,11 +363,13 @@ class WorkerPool:
                             status="cancelled",
                             runtime=time.perf_counter() - state.started_at,
                             error="cancelled",
-                        )
+                        ),
+                        progress,
                     )
                 for index in pending:
                     outcomes[index] = self._settle(
-                        JobOutcome(job=jobs[index], status="cancelled", error="cancelled")
+                        JobOutcome(job=jobs[index], status="cancelled", error="cancelled"),
+                        progress,
                     )
 
     def _receive(self, state: _Running) -> None:
@@ -438,27 +456,39 @@ class WorkerPool:
             entry=entry,
         )
 
-    def _settle(self, outcome: JobOutcome) -> JobOutcome:
+    def _settle(
+        self, outcome: JobOutcome, progress: Optional[ProgressCallback] = None
+    ) -> JobOutcome:
         self._emit(
-            outcome.status, outcome.job, detail=outcome.error or "", runtime=outcome.runtime
+            outcome.status,
+            outcome.job,
+            detail=outcome.error or "",
+            runtime=outcome.runtime,
+            progress=progress,
         )
         return outcome
 
     def _emit(
-        self, kind: str, job: LayoutJob, detail: str = "", runtime: float = 0.0
+        self,
+        kind: str,
+        job: LayoutJob,
+        detail: str = "",
+        runtime: float = 0.0,
+        progress: Optional[ProgressCallback] = None,
     ) -> None:
-        if self.progress is None:
+        callbacks = [cb for cb in (self.progress, progress) if cb is not None]
+        if not callbacks:
             return
-        self.progress(
-            ProgressEvent(
-                kind=kind,
-                job_key=job.content_hash[:12],
-                label=job.describe(),
-                variant=job.variant,
-                detail=detail,
-                runtime=runtime,
-            )
+        event = ProgressEvent(
+            kind=kind,
+            job_key=job.content_hash[:12],
+            label=job.describe(),
+            variant=job.variant,
+            detail=detail,
+            runtime=runtime,
         )
+        for callback in callbacks:
+            callback(event)
 
 
 class _StopBatch(Exception):
@@ -478,17 +508,27 @@ class BatchRunner:
     """Facade bundling a result cache with worker-pool settings.
 
     This is the object the CLI and the experiment harnesses hold on to:
-    construct once, submit batches through :meth:`run`.
+    construct once, submit batches through :meth:`run`.  A single runner
+    may be shared by several threads (see the module docstring); the
+    layout service does so, handing each dispatcher its own per-call
+    ``progress`` callback.
+
+    ``cache_dir`` also accepts an existing :class:`ResultCache` instance,
+    so a runner can share one cache — and one set of hit/miss counters —
+    with the code that owns it.
     """
 
     def __init__(
         self,
-        cache_dir: Optional[PathLike] = None,
+        cache_dir: Optional[Union[PathLike, ResultCache]] = None,
         workers: Optional[int] = None,
         job_timeout: Optional[float] = None,
         progress: Optional[ProgressCallback] = None,
     ) -> None:
-        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        if isinstance(cache_dir, ResultCache):
+            self.cache: Optional[ResultCache] = cache_dir
+        else:
+            self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.pool = WorkerPool(
             workers=workers, job_timeout=job_timeout, cache=self.cache, progress=progress
         )
@@ -498,14 +538,25 @@ class BatchRunner:
         return self.pool.workers
 
     def run(
-        self, jobs: Sequence[LayoutJob], stop_when: Optional[StopPredicate] = None
+        self,
+        jobs: Sequence[LayoutJob],
+        stop_when: Optional[StopPredicate] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> List[JobOutcome]:
         """Run a batch of jobs (see :meth:`WorkerPool.run`)."""
-        return self.pool.run(jobs, stop_when=stop_when)
+        return self.pool.run(jobs, stop_when=stop_when, progress=progress)
 
-    def run_one(self, job: LayoutJob) -> JobOutcome:
-        """Run a single job."""
-        return self.run([job])[0]
+    def run_one(
+        self, job: LayoutJob, progress: Optional[ProgressCallback] = None
+    ) -> JobOutcome:
+        """Run a single job.
+
+        ``progress`` receives the same :class:`ProgressEvent` stream a
+        batch run emits (``submitted``/``started``/``completed``/...), so
+        single-job callers — the layout service's SSE feed in particular —
+        observe the identical lifecycle without constructing a batch.
+        """
+        return self.run([job], progress=progress)[0]
 
     def cache_stats(self) -> Dict[str, object]:
         """Hit/miss/store counters (zeros when no cache is configured)."""

@@ -1,0 +1,253 @@
+"""Python client of the layout service (stdlib ``urllib`` only).
+
+:class:`ServiceClient` is the low-level HTTP wrapper — submit documents,
+poll status, stream Server-Sent Events, fetch layouts.
+
+:class:`RemoteRunner` adapts a client to the
+:class:`~repro.runner.pool.BatchRunner` interface the experiment harnesses
+consume (``run(jobs) -> List[JobOutcome]``), so ``rfic-layout table1
+--service http://host:port`` regenerates the paper's table against a
+remote daemon exactly the way ``--workers/--cache-dir`` runs it against a
+local pool: submissions dedup against the service's queue, results come
+back from its content-addressed cache.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.runner.jobs import LayoutJob
+from repro.runner.pool import JobOutcome
+from repro.service.documents import job_to_document
+from repro.service.queue import TERMINAL_STATES
+
+
+class ServiceError(ReproError):
+    """The service rejected a request or is unreachable."""
+
+
+class ServiceClient:
+    """Talk to a running ``rfic-layout serve`` daemon."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self, path: str, payload: Optional[dict] = None, timeout: Optional[float] = None
+    ):
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            return urllib.request.urlopen(request, timeout=timeout or self.timeout)
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:  # noqa: BLE001 - best-effort error body
+                pass
+            raise ServiceError(
+                f"{path}: HTTP {exc.code}" + (f" — {detail}" if detail else "")
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"service unreachable at {url}: {exc.reason}") from None
+
+    def _json(self, path: str, payload: Optional[dict] = None) -> dict:
+        with self._request(path, payload) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # API surface
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> bool:
+        try:
+            return bool(self._json("/healthz").get("ok"))
+        except ServiceError:
+            return False
+
+    def submit_document(
+        self,
+        document: Dict[str, object],
+        priority: Optional[str] = None,
+        client: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """POST one submission; returns the record (or ``{"jobs": [...]}``)."""
+        payload = dict(document)
+        if priority is not None:
+            payload["priority"] = priority
+        if client is not None:
+            payload["client"] = client
+        return self._json("/jobs", payload)
+
+    def submit_job(
+        self,
+        job: LayoutJob,
+        priority: Optional[str] = None,
+        client: Optional[str] = None,
+    ) -> Dict[str, object]:
+        return self.submit_document(job_to_document(job), priority, client)
+
+    def status(self, key: str) -> Dict[str, object]:
+        return self._json(f"/jobs/{key}")
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._json("/jobs")["jobs"]
+
+    def stats(self) -> Dict[str, object]:
+        return self._json("/stats")
+
+    def layout_document(self, key: str) -> Dict[str, object]:
+        return self._json(f"/jobs/{key}/layout.json")
+
+    def layout_svg(self, key: str) -> str:
+        with self._request(f"/jobs/{key}/layout.svg") as response:
+            return response.read().decode("utf-8")
+
+    def iter_events(
+        self, key: str, timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, object]]:
+        """Yield the job's SSE events until its stream terminates.
+
+        ``timeout`` is an *overall* deadline, not a per-read socket
+        timeout: the server's keep-alive heartbeats would otherwise reset
+        a socket timeout forever.  The deadline is checked on every
+        received line (heartbeats included, which arrive at least every
+        few seconds), so it fires promptly even while the job idles.
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        # The socket timeout only guards against a fully stalled server (the
+        # heartbeats normally keep reads alive); the overall deadline is
+        # enforced per received line.
+        with self._request(f"/jobs/{key}/events", timeout=self.timeout) as stream:
+            try:
+                for raw in stream:
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise ServiceError(
+                            f"timed out after {timeout:.1f}s streaming events for "
+                            f"job {key[:12]}"
+                        )
+                    line = raw.decode("utf-8").strip()
+                    if line.startswith("data:"):
+                        yield json.loads(line[len("data:") :].strip())
+            except TimeoutError:
+                raise ServiceError(
+                    f"event stream for job {key[:12]} stalled (no data for "
+                    f"{self.timeout:.0f}s)"
+                ) from None
+
+    def wait(
+        self, key: str, timeout: Optional[float] = None, poll: float = 0.25
+    ) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; return its record."""
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        while True:
+            record = self.status(key)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.1f}s waiting for job {key[:12]} "
+                    f"(state: {record['state']})"
+                )
+            time.sleep(poll)
+
+
+class RemoteRunner:
+    """BatchRunner-shaped adapter over a :class:`ServiceClient`.
+
+    ``run`` submits every job, waits for settlement, then materialises
+    :class:`JobOutcome` objects whose ``layout_doc`` is fetched from the
+    service — ``outcome.flow_result()`` works exactly as with a local
+    runner (metrics and DRC are recomputed from the layout).
+    """
+
+    def __init__(
+        self,
+        service: "ServiceClient | str",
+        client: str = "remote-runner",
+        priority: Optional[str] = None,
+        job_timeout: Optional[float] = None,
+    ) -> None:
+        self.client = (
+            service if isinstance(service, ServiceClient) else ServiceClient(service)
+        )
+        self.client_name = client
+        self.priority = priority
+        self.job_timeout = job_timeout
+
+    @property
+    def workers(self) -> str:
+        return f"service:{self.client.base_url}"
+
+    def run(self, jobs: Sequence[LayoutJob], stop_when=None) -> List[JobOutcome]:
+        """Submit a batch to the service and wait for every outcome.
+
+        ``stop_when`` is accepted for interface compatibility but ignored:
+        cancellation is the daemon's call, not the remote client's.
+        """
+        submissions = []
+        for job in jobs:
+            response = self.client.submit_job(
+                job, priority=self.priority, client=self.client_name
+            )
+            submissions.append((response["key"], response.get("disposition", "")))
+        outcomes = []
+        for job, (key, disposition) in zip(jobs, submissions):
+            record = self.client.wait(key, timeout=self.job_timeout)
+            outcomes.append(self._outcome(job, key, record, disposition))
+        return outcomes
+
+    def run_one(self, job: LayoutJob) -> JobOutcome:
+        return self.run([job])[0]
+
+    def _outcome(
+        self,
+        job: LayoutJob,
+        key: str,
+        record: Dict[str, object],
+        disposition: str = "",
+    ) -> JobOutcome:
+        state = record["state"]
+        summary = record.get("summary") or {}
+        if state == "done":
+            # "cached" when either the service short-circuited this
+            # submission (disposition) or the original run itself was a
+            # pool-level cache hit (summary["served"]).
+            cached = (
+                disposition in ("cached", "done")
+                or summary.get("served") == "cache"
+            )
+            layout_doc = self.client.layout_document(key)
+            return JobOutcome(
+                job=job,
+                status="cached" if cached else "completed",
+                summary=dict(summary),
+                runtime=float(record.get("runtime") or 0.0),
+                layout_doc=layout_doc,
+            )
+        status = state if state in ("failed", "timeout", "cancelled") else "failed"
+        return JobOutcome(
+            job=job,
+            status=status,
+            runtime=float(record.get("runtime") or 0.0),
+            error=record.get("error") or f"remote job settled as {state!r}",
+        )
+
+    def cache_stats(self) -> Dict[str, object]:
+        """The remote cache's hit/miss counters (from ``GET /stats``)."""
+        return dict(self.client.stats().get("cache", {}))

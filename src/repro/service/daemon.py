@@ -1,0 +1,92 @@
+"""Assembly of the full layout service: queue + scheduler + HTTP server.
+
+:class:`LayoutService` is what ``rfic-layout serve`` runs and what the
+end-to-end tests boot: it owns a data directory (journal + result cache),
+wires the durable :class:`JobQueue` into a :class:`LayoutScheduler`, and
+serves the HTTP API.  Everything under ``data_dir`` is restart-safe:
+
+* ``journal.jsonl`` — the durable queue (replayed on startup),
+* ``cache/`` — the PR 3 content-addressed result cache (settlement
+  ground truth: a settled hash is served from here, never re-solved).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.runner.cache import ResultCache
+from repro.service.http import LayoutHTTPServer, make_server
+from repro.service.queue import JobQueue
+from repro.service.scheduler import LayoutScheduler
+
+PathLike = Union[str, Path]
+
+DEFAULT_DATA_DIR = ".rfic-service"
+
+
+class LayoutService:
+    """One daemon instance (see module docstring)."""
+
+    def __init__(
+        self,
+        data_dir: PathLike = DEFAULT_DATA_DIR,
+        cache_dir: Optional[PathLike] = None,
+        concurrency: int = 1,
+        pool_workers: int = 1,
+        inline: bool = False,
+        job_timeout: Optional[float] = None,
+        fsync: bool = True,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.cache = ResultCache(cache_dir if cache_dir is not None else self.data_dir / "cache")
+        self.queue = JobQueue(self.data_dir, fsync=fsync)
+        self.scheduler = LayoutScheduler(
+            queue=self.queue,
+            cache=self.cache,
+            concurrency=concurrency,
+            pool_workers=0 if inline else pool_workers,
+            job_timeout=job_timeout,
+        )
+        self.server: Optional[LayoutHTTPServer] = None
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Start dispatching (journal-replayed jobs begin immediately)."""
+        self.scheduler.start()
+
+    def bind(
+        self, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+    ) -> LayoutHTTPServer:
+        """Bind the HTTP server (``port=0`` = ephemeral) without serving."""
+        self.server = make_server(self.scheduler, host, port, quiet=quiet)
+        return self.server
+
+    @property
+    def port(self) -> int:
+        if self.server is None:
+            raise RuntimeError("service is not bound; call bind() first")
+        return self.server.server_address[1]
+
+    def write_port_file(self, path: PathLike) -> None:
+        """Publish the bound port atomically (watchers never read a torn file)."""
+        target = Path(path)
+        staging = target.with_name(target.name + f".{os.getpid()}.tmp")
+        staging.write_text(f"{self.port}\n", encoding="utf-8")
+        os.replace(staging, target)
+
+    def serve_forever(self) -> None:
+        """Block serving HTTP (bind first); returns after :meth:`shutdown`."""
+        if self.server is None:
+            raise RuntimeError("service is not bound; call bind() first")
+        self.server.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop the HTTP server and the dispatchers (running jobs settle)."""
+        if self.server is not None:
+            self.server.shutdown()
+            self.server.server_close()
+            self.server = None
+        self.scheduler.stop()

@@ -1,0 +1,292 @@
+"""HTTP front end of the layout service (stdlib ``http.server`` only).
+
+Endpoints
+---------
+``POST /jobs``
+    Submit a job document or a ``{"sweep": ...}`` grid (see
+    :mod:`repro.service.documents`).  Optional top-level ``"priority"``
+    (``interactive``/``batch``/``background``) and ``"client"`` fields
+    feed admission.  Response: the submitted record(s) with their
+    dispositions; ``202`` when new work was queued, ``200`` otherwise.
+``GET /jobs``
+    All known records (journal order).
+``GET /jobs/{hash}``
+    One record: state, timings, metrics summary, error.
+``GET /jobs/{hash}/layout.json`` / ``GET /jobs/{hash}/layout.svg``
+    The settled layout, straight from the result cache / rendered through
+    the SVG exporter.
+``GET /jobs/{hash}/events``
+    Server-Sent Events: the job's retained history is replayed, then live
+    events stream until a terminal event (``done``/``failed``/``timeout``/
+    ``cancelled``) closes the stream.  Event schema: see
+    :mod:`repro.service.scheduler`.
+``GET /stats``
+    Queue depth and per-state counts, scheduler counters, cache hit/miss
+    statistics, journal health.
+
+The server is a :class:`ThreadingHTTPServer`: one thread per request, so
+any number of SSE streams can idle while submissions keep flowing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+from repro.layout.export_json import load_layout
+from repro.layout.export_svg import layout_to_svg
+from repro.service.documents import DEFAULT_CLIENT, expand_submission
+from repro.service.queue import JobRecord
+from repro.service.scheduler import TERMINAL_EVENT_KINDS, LayoutScheduler
+
+#: Seconds between SSE keep-alive comments while a job is idle.
+_SSE_HEARTBEAT = 5.0
+
+
+class LayoutHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the scheduler for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, scheduler: LayoutScheduler, quiet: bool = True):
+        super().__init__(address, _Handler)
+        self.scheduler = scheduler
+        self.quiet = quiet
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: LayoutHTTPServer
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: object, status: int = 200) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8") + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_bytes(self, body: bytes, content_type: str) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    @property
+    def scheduler(self) -> LayoutScheduler:
+        return self.server.scheduler
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/stats":
+                self._send_json(self.scheduler.stats())
+            elif path in ("/", "/healthz"):
+                self._send_json({"service": "rfic-layout", "ok": True})
+            elif path == "/jobs":
+                self._send_json(
+                    {"jobs": [r.status_dict() for r in self.scheduler.queue.records()]}
+                )
+            elif path.startswith("/jobs/"):
+                self._get_job(path[len("/jobs/") :])
+            else:
+                self._send_error_json(404, f"no such resource: {path}")
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+        except Exception as exc:  # noqa: BLE001 - request boundary
+            self._safe_error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path != "/jobs":
+                self._send_error_json(404, f"no such resource: {path}")
+                return
+            self._post_jobs()
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - request boundary
+            self._safe_error(exc)
+
+    def _safe_error(self, exc: Exception) -> None:
+        try:
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+        except Exception:  # headers already sent (e.g. mid-SSE)
+            pass
+
+    # ------------------------------------------------------------------ #
+    # handlers
+    # ------------------------------------------------------------------ #
+
+    def _post_jobs(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._send_error_json(400, "missing request body")
+            return
+        try:
+            submission = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_error_json(400, f"bad JSON body: {exc}")
+            return
+        if not isinstance(submission, dict):
+            self._send_error_json(400, "submission must be a JSON object")
+            return
+        priority = submission.pop("priority", None)
+        client = str(submission.pop("client", DEFAULT_CLIENT))
+        try:
+            documents = expand_submission(submission)
+            results = [
+                self.scheduler.submit(document, priority=priority, client=client)
+                for document in documents
+            ]
+        except (ConfigurationError, ReproError, KeyError, ValueError) as exc:
+            self._send_error_json(400, str(exc))
+            return
+        rows = [
+            dict(record.status_dict(), disposition=disposition)
+            for record, disposition in results
+        ]
+        queued_any = any(d in ("queued", "requeued") for _, d in results)
+        status = 202 if queued_any else 200
+        if "sweep" in submission or len(rows) != 1:
+            self._send_json({"jobs": rows}, status=status)
+        else:
+            self._send_json(rows[0], status=status)
+
+    def _get_job(self, rest: str) -> None:
+        parts = rest.split("/")
+        # Accept the full content hash or the unique prefix the CLI prints.
+        record = self.scheduler.queue.find(parts[0])
+        if record is None:
+            self._send_error_json(404, f"unknown job {parts[0]!r}")
+            return
+        key = record.key
+        if len(parts) == 1:
+            self._send_json(record.status_dict())
+        elif parts[1:] == ["events"]:
+            self._stream_events(key)
+        elif parts[1:] == ["layout.json"]:
+            entry = self._entry_or_404(key, record.state)
+            if entry is not None:
+                self._send_bytes(
+                    entry.layout_path.read_bytes(), "application/json; charset=utf-8"
+                )
+        elif parts[1:] == ["layout.svg"]:
+            entry = self._entry_or_404(key, record.state)
+            if entry is not None:
+                layout = load_layout(entry.layout_path)
+                svg = layout_to_svg(layout, title=f"{record.label} [{key[:12]}]")
+                self._send_bytes(svg.encode("utf-8"), "image/svg+xml; charset=utf-8")
+        else:
+            self._send_error_json(404, f"no such resource: /jobs/{rest}")
+
+    def _entry_or_404(self, key: str, state: str):
+        entry = self.scheduler.cache.peek_key(key)
+        if entry is None:
+            self._send_error_json(
+                404 if state == "done" else 409,
+                f"job {key[:12]} has no stored layout (state: {state})",
+            )
+            return None
+        return entry
+
+    def _stream_events(self, key: str) -> None:
+        subscription = self.scheduler.bus.subscribe(key, replay=True)
+        self.close_connection = True
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            record = self.scheduler.queue.get(key)
+            already_settled = record is not None and record.terminal
+            while True:
+                # A job that settled in a previous daemon epoch (or whose
+                # history was evicted) will never publish again: drain the
+                # replayed history quickly, then synthesize its terminal
+                # event from the journaled record and close the stream.
+                event = subscription.get(
+                    timeout=0.2 if already_settled else _SSE_HEARTBEAT
+                )
+                if event is None:
+                    if already_settled:
+                        self._write_sse(_synthetic_terminal_event(key, record))
+                        break
+                    self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+                    continue
+                self._write_sse(event)
+                if event["kind"] in TERMINAL_EVENT_KINDS:
+                    break
+        finally:
+            subscription.close()
+
+    def _write_sse(self, event: Dict[str, object]) -> None:
+        payload = json.dumps(event, sort_keys=True)
+        self.wfile.write(f"event: {event['kind']}\ndata: {payload}\n\n".encode("utf-8"))
+        self.wfile.flush()
+
+
+def _synthetic_terminal_event(key: str, record: JobRecord) -> Dict[str, object]:
+    """A terminal SSE event reconstructed from a journaled record.
+
+    ``seq`` 0 marks it as synthesized (live bus events start at 1).
+    """
+    return {
+        "seq": 0,
+        "ts": record.settled_unix or 0.0,
+        "kind": record.state,  # terminal states are terminal kinds
+        "key": key,
+        "label": record.label,
+        "state": record.state,
+        "detail": record.error or "",
+        "runtime": round(record.runtime, 3),
+    }
+
+
+def make_server(
+    scheduler: LayoutScheduler,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> LayoutHTTPServer:
+    """Bind (but do not start) the service's HTTP server.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address``.
+    """
+    return LayoutHTTPServer((host, port), scheduler, quiet=quiet)
+
+
+def serve_in_thread(
+    scheduler: LayoutScheduler,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> Tuple[LayoutHTTPServer, threading.Thread]:
+    """Bind and serve on a background thread (used by tests and clients)."""
+    server = make_server(scheduler, host, port, quiet=quiet)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

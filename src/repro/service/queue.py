@@ -1,0 +1,436 @@
+"""Durable job queue: an append-only JSON-lines journal with atomic rotation.
+
+Every state transition of every submitted job is one line appended to
+``<data_dir>/journal.jsonl``:
+
+* ``{"op": "submit", "record": {...}}`` — a new job (full record, its
+  submission document included),
+* ``{"op": "start", "key": ..., "ts": ...}`` — dispatch began,
+* ``{"op": "settle", "key": ..., "state": ..., ...}`` — terminal state,
+* ``{"op": "record", "record": {...}}`` — compaction snapshot line.
+
+On startup the journal is replayed in order; jobs that were ``queued`` or
+``running`` when the daemon died come back as ``queued`` (a solve that
+never settled is simply re-run — it is deterministic, and if its worker
+already reached the result cache before the crash, the re-dispatch settles
+from the cache instead of re-solving).  **Settlement is exactly-once per
+content hash**: a ``settle`` for an already-terminal record is ignored,
+both live and during replay.
+
+The journal only ever grows by appends; once it exceeds
+``max_journal_bytes`` it is *rotated*: the live records are written as
+snapshot lines to a staging file which then atomically replaces the
+journal (``os.replace``), mirroring the result cache's staging-rename
+discipline — a reader sees either the old journal or the new one, never a
+half-written file.  A torn trailing line (the process died mid-append) is
+tolerated and dropped on replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.service.documents import (
+    DEFAULT_CLIENT,
+    job_from_document,
+    validate_priority,
+)
+
+PathLike = Union[str, Path]
+
+JOURNAL_FILE = "journal.jsonl"
+
+#: Journal size (bytes) above which an append triggers compaction.
+DEFAULT_MAX_JOURNAL_BYTES = 4 * 1024 * 1024
+
+#: States a job record moves through.  ``done`` covers both "solved" and
+#: "served from cache" — consumers that care read ``summary["served"]``.
+JOB_STATES = ("queued", "running", "done", "failed", "timeout", "cancelled")
+TERMINAL_STATES = ("done", "failed", "timeout", "cancelled")
+
+
+@dataclass
+class JobRecord:
+    """One submitted job: its document, identity and lifecycle state."""
+
+    key: str  #: PR 3 content hash — the settlement / cache identity.
+    document: Dict[str, object]
+    label: str
+    priority: str
+    client: str = DEFAULT_CLIENT
+    state: str = "queued"
+    seq: int = 0  #: admission order (FIFO tie-break within a class)
+    submitted_unix: float = 0.0
+    started_unix: Optional[float] = None
+    settled_unix: Optional[float] = None
+    runtime: float = 0.0
+    error: Optional[str] = None
+    summary: Optional[Dict[str, object]] = None
+    attach_count: int = 0  #: duplicate submissions that joined this record
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def active(self) -> bool:
+        return self.state in ("queued", "running")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "document": self.document,
+            "label": self.label,
+            "priority": self.priority,
+            "client": self.client,
+            "state": self.state,
+            "seq": self.seq,
+            "submitted_unix": self.submitted_unix,
+            "started_unix": self.started_unix,
+            "settled_unix": self.settled_unix,
+            "runtime": self.runtime,
+            "error": self.error,
+            "summary": self.summary,
+            "attach_count": self.attach_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobRecord":
+        return cls(
+            key=str(data["key"]),
+            document=dict(data["document"]),
+            label=str(data.get("label", "")),
+            priority=validate_priority(data.get("priority")),
+            client=str(data.get("client", DEFAULT_CLIENT)),
+            state=str(data.get("state", "queued")),
+            seq=int(data.get("seq", 0)),
+            submitted_unix=float(data.get("submitted_unix", 0.0)),
+            started_unix=data.get("started_unix"),
+            settled_unix=data.get("settled_unix"),
+            runtime=float(data.get("runtime", 0.0)),
+            error=data.get("error"),
+            summary=data.get("summary"),
+            attach_count=int(data.get("attach_count", 0)),
+        )
+
+    def status_dict(self) -> Dict[str, object]:
+        """The public (API) view of this record — no job document."""
+        data = self.to_dict()
+        document = data.pop("document")
+        data["flow"] = document.get("flow", "pilp")
+        return data
+
+
+class JobQueue:
+    """Journal-backed queue of :class:`JobRecord` (see module docstring).
+
+    All methods are thread-safe; the scheduler calls them from its
+    admission path and from every dispatcher thread.
+    """
+
+    def __init__(
+        self,
+        data_dir: PathLike,
+        max_journal_bytes: int = DEFAULT_MAX_JOURNAL_BYTES,
+        fsync: bool = True,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.journal_path = self.data_dir / JOURNAL_FILE
+        self.max_journal_bytes = max_journal_bytes
+        self.fsync = fsync
+        self._lock = threading.RLock()
+        self._records: Dict[str, JobRecord] = {}
+        #: Keys currently in state "queued" — the dispatchers poll this, so
+        #: it must stay O(pending), not O(all records ever submitted).
+        self._pending: Dict[str, JobRecord] = {}
+        self._seq = 0
+        self._dropped_lines = 0
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._replay()
+
+    # ------------------------------------------------------------------ #
+    # journal I/O
+    # ------------------------------------------------------------------ #
+
+    def _append(self, entry: Dict[str, object]) -> None:
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        with self.journal_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        if self.journal_path.stat().st_size > self.max_journal_bytes:
+            self.compact()
+
+    def _replay(self) -> None:
+        """Rebuild in-memory state from the journal (startup recovery)."""
+        if not self.journal_path.is_file():
+            return
+        with self.journal_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn append (crash mid-write).  The transition it
+                    # described never happened as far as durability is
+                    # concerned; drop it and keep replaying.
+                    self._dropped_lines += 1
+                    continue
+                self._apply(entry)
+        # Jobs in flight when the previous daemon died never settled:
+        # requeue them (their solve is deterministic and cache-settled,
+        # so re-dispatch is safe and usually a cache hit).
+        for record in self._records.values():
+            if record.state == "running":
+                record.state = "queued"
+                record.started_unix = None
+        self._pending = {
+            key: record
+            for key, record in self._records.items()
+            if record.state == "queued"
+        }
+
+    def _apply(self, entry: Dict[str, object]) -> None:
+        op = entry.get("op")
+        if op in ("submit", "record"):
+            try:
+                record = JobRecord.from_dict(entry["record"])
+            except (KeyError, TypeError, ValueError, ConfigurationError):
+                self._dropped_lines += 1
+                return
+            existing = self._records.get(record.key)
+            if op == "record" or existing is None:
+                self._records[record.key] = record
+            elif existing.terminal and existing.state != "done":
+                # Resubmission of a failed/timed-out/cancelled job: install
+                # the journaled record wholesale — it carries the
+                # resubmission's priority/client/document, exactly like the
+                # live submit() path replaced the record.
+                self._records[record.key] = record
+            else:
+                existing.attach_count += 1
+            self._seq = max(self._seq, record.seq + 1)
+        elif op == "start":
+            record = self._records.get(entry.get("key"))
+            if record is not None and not record.terminal:
+                record.state = "running"
+                record.started_unix = entry.get("ts")
+        elif op == "settle":
+            record = self._records.get(entry.get("key"))
+            if record is None or record.terminal:
+                return  # exactly-once: later settles for the key are no-ops
+            state = entry.get("state")
+            if state not in TERMINAL_STATES:
+                self._dropped_lines += 1
+                return
+            record.state = state
+            record.settled_unix = entry.get("ts")
+            record.runtime = float(entry.get("runtime", 0.0))
+            record.error = entry.get("error")
+            record.summary = entry.get("summary")
+        else:
+            self._dropped_lines += 1
+
+    def compact(self) -> None:
+        """Rewrite the journal as one snapshot line per live record.
+
+        Staging-file + ``os.replace``: atomic with respect to both crashes
+        and concurrent readers of the journal file.
+        """
+        with self._lock:
+            staging = self.data_dir / f".journal-{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp"
+            with staging.open("w", encoding="utf-8") as handle:
+                for record in sorted(self._records.values(), key=lambda r: r.seq):
+                    handle.write(
+                        json.dumps(
+                            {"op": "record", "record": record.to_dict()},
+                            sort_keys=True,
+                            separators=(",", ":"),
+                        )
+                        + "\n"
+                    )
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(staging, self.journal_path)
+
+    # ------------------------------------------------------------------ #
+    # queue operations
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        document: Dict[str, object],
+        priority: Optional[str] = None,
+        client: str = DEFAULT_CLIENT,
+        label: Optional[str] = None,
+    ) -> Tuple[JobRecord, str]:
+        """Admit one job document.  Returns ``(record, disposition)``.
+
+        Dispositions: ``"queued"`` (new work), ``"attached"`` (an identical
+        job is already queued/running — the submission joins it),
+        ``"done"`` (already settled successfully), ``"requeued"`` (an
+        earlier attempt failed; this submission retries it).
+        """
+        priority = validate_priority(priority)
+        job = job_from_document(document)  # validates; computes the hash
+        key = job.content_hash
+        with self._lock:
+            existing = self._records.get(key)
+            if existing is not None:
+                if existing.active:
+                    existing.attach_count += 1
+                    self._append({"op": "submit", "record": existing.to_dict()})
+                    return existing, "attached"
+                if existing.state == "done":
+                    return existing, "done"
+                disposition = "requeued"
+            else:
+                disposition = "queued"
+            record = JobRecord(
+                key=key,
+                document=dict(document),
+                label=label or job.describe(),
+                priority=priority,
+                client=client,
+                state="queued",
+                seq=self._seq,
+                submitted_unix=time.time(),
+            )
+            self._seq += 1
+            self._records[key] = record
+            self._pending[key] = record
+            self._append({"op": "submit", "record": record.to_dict()})
+            return record, disposition
+
+    def requeue(self, key: str) -> JobRecord:
+        """Force a known record back to ``queued`` (even a ``done`` one).
+
+        This is the escape hatch for a settled job whose cache entry has
+        vanished (pruned or wiped cache): the journal still says ``done``
+        but the layout is gone, so the work must be admitted again.  The
+        transition is journaled as a snapshot line — on replay it
+        *replaces* the record, which is exactly the semantics a forced
+        requeue needs (a plain ``submit`` op would replay as an attach).
+        """
+        with self._lock:
+            record = self._records[key]
+            if record.state == "queued":
+                return record
+            record.state = "queued"
+            record.error = None
+            record.summary = None
+            record.started_unix = None
+            record.settled_unix = None
+            record.runtime = 0.0
+            record.submitted_unix = time.time()
+            record.seq = self._seq
+            self._seq += 1
+            self._pending[key] = record
+            self._append({"op": "record", "record": record.to_dict()})
+            return record
+
+    def mark_running(self, key: str) -> None:
+        with self._lock:
+            record = self._records[key]
+            record.state = "running"
+            record.started_unix = time.time()
+            self._pending.pop(key, None)
+            self._append({"op": "start", "key": key, "ts": record.started_unix})
+
+    def settle(
+        self,
+        key: str,
+        state: str,
+        summary: Optional[Dict[str, object]] = None,
+        error: Optional[str] = None,
+        runtime: float = 0.0,
+    ) -> bool:
+        """Record a terminal state.  Returns False if already settled."""
+        if state not in TERMINAL_STATES:
+            raise ConfigurationError(f"not a terminal state: {state!r}")
+        with self._lock:
+            record = self._records.get(key)
+            if record is None or record.terminal:
+                return False
+            record.state = state
+            record.settled_unix = time.time()
+            record.summary = summary
+            record.error = error
+            record.runtime = runtime
+            self._pending.pop(key, None)
+            self._append(
+                {
+                    "op": "settle",
+                    "key": key,
+                    "state": state,
+                    "ts": record.settled_unix,
+                    "summary": summary,
+                    "error": error,
+                    "runtime": runtime,
+                }
+            )
+            return True
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._records.get(key)
+
+    def find(self, key_or_prefix: str) -> Optional[JobRecord]:
+        """Exact-key lookup, falling back to a *unique* hash prefix.
+
+        The CLI and the progress events print 12-character key prefixes;
+        this is what lets ``rfic-layout status <prefix>`` and the
+        ``/jobs/{hash}`` routes accept them.  Prefixes shorter than 8
+        characters or matching more than one record return ``None``.
+        """
+        with self._lock:
+            record = self._records.get(key_or_prefix)
+            if record is not None or len(key_or_prefix) < 8:
+                return record
+            matches = [
+                record
+                for key, record in self._records.items()
+                if key.startswith(key_or_prefix)
+            ]
+            return matches[0] if len(matches) == 1 else None
+
+    def records(self) -> List[JobRecord]:
+        with self._lock:
+            return sorted(self._records.values(), key=lambda record: record.seq)
+
+    def queued(self) -> List[JobRecord]:
+        with self._lock:
+            return sorted(self._pending.values(), key=lambda record: record.seq)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of records per state (all states present, zeros kept)."""
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for record in self._records.values():
+                counts[record.state] = counts.get(record.state, 0) + 1
+            return counts
+
+    def depth(self) -> int:
+        """Jobs waiting for a dispatcher."""
+        return self.counts()["queued"]
+
+    @property
+    def dropped_lines(self) -> int:
+        """Journal lines discarded during replay (torn/foreign writes)."""
+        return self._dropped_lines

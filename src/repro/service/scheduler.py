@@ -1,0 +1,447 @@
+"""Admission and dispatch: priorities, fairness, dedup, cache short-circuit.
+
+:class:`LayoutScheduler` sits between the durable :class:`JobQueue` and the
+PR 3 :class:`~repro.runner.pool.BatchRunner`:
+
+* **Admission** (:meth:`submit`) computes the job's content hash, then
+  short-circuits against the result cache (an already-solved job settles
+  as ``done`` without touching the pool) and dedups in flight (a second
+  submission of an identical job *attaches* to the running one instead of
+  re-solving — both submitters observe the same record and event stream).
+* **Dispatch** runs on ``concurrency`` threads sharing one re-entrant
+  runner.  The next job is chosen by priority class first
+  (``interactive`` < ``batch`` < ``background``), then per-client
+  fairness (the least-recently-served client goes first, so one client
+  flooding the queue cannot starve the others), then FIFO.
+* **Settlement** is exactly-once per content hash, journaled through the
+  queue; every transition is published on the :class:`EventBus` that feeds
+  the HTTP API's Server-Sent Events.
+
+Event schema (also the SSE ``data:`` payload)::
+
+    {"seq": 17, "ts": 1721998800.5, "kind": "running", "key": "ab12...",
+     "label": "buffer60:manual", "state": "running", "detail": "",
+     "runtime": 0.0}
+
+``kind`` is one of ``queued | running | progress | done | failed |
+timeout | cancelled``; the last four are terminal and close any SSE
+stream subscribed to that job.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import LayoutJob
+from repro.runner.pool import BatchRunner, JobOutcome, ProgressEvent
+from repro.service.documents import job_from_document, priority_rank
+from repro.service.queue import JobQueue, JobRecord
+
+#: Event kinds that close an SSE stream (canonical definition; the HTTP
+#: layer re-exports it).
+TERMINAL_EVENT_KINDS = ("done", "failed", "timeout", "cancelled")
+
+#: Terminal event kinds, by outcome status.
+_TERMINAL_KINDS = {
+    "completed": "done",
+    "cached": "done",
+    "failed": "failed",
+    "timeout": "timeout",
+    "cancelled": "cancelled",
+}
+
+#: How many events are retained per job for SSE replay.
+_HISTORY_LIMIT = 512
+
+#: How many jobs keep a replayable history.  Beyond this, the oldest
+#: *settled* keys are evicted — a late SSE subscriber to an evicted job
+#: gets a terminal event synthesized from the journaled record instead,
+#: so nothing observable is lost while daemon memory stays bounded.
+_HISTORY_KEYS = 1024
+
+#: Fairness bookkeeping cap: clients beyond this evict their oldest peers.
+_CLIENT_LIMIT = 4096
+
+
+class Subscription:
+    """One event consumer: a bounded mailbox plus an unsubscribe handle."""
+
+    def __init__(self, bus: "EventBus", key: Optional[str]) -> None:
+        self._bus = bus
+        self.key = key
+        self.mailbox: "queue_module.Queue[Dict[str, object]]" = queue_module.Queue(
+            maxsize=4096
+        )
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Dict[str, object]]:
+        """Next event, or ``None`` on timeout."""
+        try:
+            return self.mailbox.get(timeout=timeout)
+        except queue_module.Empty:
+            return None
+
+    def close(self) -> None:
+        self._bus.unsubscribe(self)
+
+
+class EventBus:
+    """Fan-out of job lifecycle events with per-job replayable history."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._history: Dict[str, List[Dict[str, object]]] = {}
+        self._subscribers: List[Subscription] = []
+
+    def publish(
+        self,
+        kind: str,
+        key: str,
+        label: str = "",
+        state: str = "",
+        detail: str = "",
+        runtime: float = 0.0,
+    ) -> Dict[str, object]:
+        with self._lock:
+            self._seq += 1
+            event = {
+                "seq": self._seq,
+                "ts": time.time(),
+                "kind": kind,
+                "key": key,
+                "label": label,
+                "state": state,
+                "detail": detail,
+                "runtime": round(runtime, 3),
+            }
+            history = self._history.setdefault(key, [])
+            history.append(event)
+            del history[:-_HISTORY_LIMIT]
+            if len(self._history) > _HISTORY_KEYS:
+                self._evict_settled_histories()
+            for subscription in self._subscribers:
+                if subscription.key is None or subscription.key == key:
+                    try:
+                        subscription.mailbox.put_nowait(event)
+                    except queue_module.Full:  # slow consumer: drop, don't block
+                        pass
+            return event
+
+    def subscribe(
+        self, key: Optional[str] = None, replay: bool = True
+    ) -> Subscription:
+        """Start consuming events (``key=None`` = all jobs).
+
+        With ``replay`` the job's retained history is delivered first, so
+        an SSE client that connects after settlement still sees the full
+        ``queued → ... → done`` sequence.  Subscribing and replay happen
+        under one lock, so no event can fall between history and live
+        delivery.
+        """
+        subscription = Subscription(self, key)
+        with self._lock:
+            if replay and key is not None:
+                for event in self._history.get(key, []):
+                    subscription.mailbox.put_nowait(event)
+            self._subscribers.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscription)
+            except ValueError:
+                pass
+
+    def _evict_settled_histories(self) -> None:
+        """Drop the oldest settled jobs' histories (caller holds the lock).
+
+        Only keys whose last event is terminal are evicted; active jobs
+        keep their history no matter how many there are.
+        """
+        for stale in list(self._history):
+            if len(self._history) <= _HISTORY_KEYS:
+                break
+            events = self._history[stale]
+            if events and events[-1]["kind"] in TERMINAL_EVENT_KINDS:
+                del self._history[stale]
+
+    def history(self, key: str) -> List[Dict[str, object]]:
+        with self._lock:
+            return list(self._history.get(key, []))
+
+
+class LayoutScheduler:
+    """Dispatch queued layout jobs through a shared batch runner."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        cache: ResultCache,
+        runner: Optional[BatchRunner] = None,
+        concurrency: int = 1,
+        pool_workers: int = 1,
+        job_timeout: Optional[float] = None,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.queue = queue
+        self.cache = cache
+        self.runner = runner or BatchRunner(
+            cache_dir=cache, workers=pool_workers, job_timeout=job_timeout
+        )
+        self.concurrency = concurrency
+        self.bus = EventBus()
+        self.started_unix = time.time()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._dispatch_seq = 0
+        self._last_served: Dict[str, int] = {}
+        self._solved = 0
+        self._served_from_cache = 0
+        self._attached = 0
+        self._failed = 0
+        self._replayed = self.queue.depth()  # pending jobs inherited from the journal
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Start the dispatcher threads (idempotent; restartable after stop)."""
+        if self._threads:
+            return
+        self._stop.clear()
+        for index in range(self.concurrency):
+            thread = threading.Thread(
+                target=self._dispatch_loop, name=f"dispatch-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop dispatching.  Jobs already running finish and settle."""
+        self._stop.set()
+        with self._wakeup:
+            self._wakeup.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        document: Dict[str, object],
+        priority: Optional[str] = None,
+        client: str = "anonymous",
+    ) -> Tuple[JobRecord, str]:
+        """Admit one job document; returns ``(record, disposition)``.
+
+        Dispositions: ``queued`` / ``requeued`` (will be dispatched),
+        ``attached`` (joined an in-flight identical job), ``done``
+        (already settled), ``cached`` (settled right now from the result
+        cache without running — the short-circuit counts as a cache hit in
+        ``GET /stats``).
+        """
+        job = job_from_document(document)
+        key = job.content_hash
+        with self._lock:
+            existing = self.queue.get(key)
+            if existing is not None and existing.active:
+                # The record can settle between the check above and the
+                # queue's own locked submit (dispatchers settle under the
+                # queue lock only), so honour whatever disposition the
+                # queue actually took.
+                record, disposition = self.queue.submit(document, priority, client)
+                if disposition == "attached":
+                    self._attached += 1
+                elif disposition in ("queued", "requeued"):
+                    self.bus.publish("queued", key, record.label, "queued")
+                    self._wakeup.notify()
+                return record, disposition
+            if existing is not None and existing.state == "done":
+                entry = self._cache_hit(job)
+                if entry is not None:
+                    self._served_from_cache += 1
+                    return existing, "cached"
+                # Entry vanished (cache wiped/pruned): the journal says done
+                # but the layout is gone — force the work back into the queue.
+                record = self.queue.requeue(key)
+                self.bus.publish("queued", key, record.label, "queued")
+                self._wakeup.notify()
+                return record, "requeued"
+            record, disposition = self.queue.submit(document, priority, client)
+            if disposition == "done":
+                return record, disposition
+            entry = self._cache_hit(job)
+            if entry is not None:
+                # Solved in a previous epoch (or by a CLI batch sharing the
+                # cache): settle instantly, never touching the pool.
+                summary = dict(entry.summary)
+                summary["served"] = "cache"
+                self.queue.settle(
+                    key,
+                    "done",
+                    summary=summary,
+                    runtime=float(entry.summary.get("runtime_s", 0.0)),
+                )
+                self._served_from_cache += 1
+                self.bus.publish("queued", key, record.label, "queued")
+                self.bus.publish(
+                    "done", key, record.label, "done", detail="served from cache"
+                )
+                return self.queue.get(key), "cached"
+            self.bus.publish("queued", key, record.label, "queued")
+            self._wakeup.notify()
+            return record, disposition
+
+    def _cache_hit(self, job: LayoutJob):
+        """Cache lookup that counts a *hit* but never a miss.
+
+        The pool performs its own counted lookup when the job is actually
+        dispatched; counting the admission probe's miss as well would
+        double-count every fresh submission in ``GET /stats``.
+        """
+        if self.cache.peek(job) is None:
+            return None
+        return self.cache.get(job)  # counts exactly one hit
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+
+    def _select_next(self) -> Optional[JobRecord]:
+        """Pick and claim the next queued record (caller holds the lock).
+
+        Ordering: best priority class first; within a class the client
+        served longest ago wins (per-client fairness); FIFO breaks ties.
+        """
+        candidates = self.queue.queued()
+        if not candidates:
+            return None
+        record = min(
+            candidates,
+            key=lambda r: (
+                priority_rank(r.priority),
+                self._last_served.get(r.client, -1),
+                r.seq,
+            ),
+        )
+        self._last_served[record.client] = self._dispatch_seq
+        self._dispatch_seq += 1
+        if len(self._last_served) > _CLIENT_LIMIT:
+            for client in sorted(self._last_served, key=self._last_served.get)[
+                : len(self._last_served) - _CLIENT_LIMIT
+            ]:
+                del self._last_served[client]
+        self.queue.mark_running(record.key)
+        return record
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._wakeup:
+                record = self._select_next()
+                if record is None:
+                    self._wakeup.wait(timeout=0.2)
+                    continue
+            self.bus.publish("running", record.key, record.label, "running")
+            try:
+                job = job_from_document(record.document)
+                outcome = self.runner.run_one(
+                    job, progress=self._progress_forwarder(record)
+                )
+            except Exception as exc:  # noqa: BLE001 - dispatcher boundary
+                self._settle_failure(record, f"{type(exc).__name__}: {exc}")
+                continue
+            self._settle_outcome(record, outcome)
+
+    def _progress_forwarder(
+        self, record: JobRecord
+    ) -> Callable[[ProgressEvent], None]:
+        def forward(event: ProgressEvent) -> None:
+            # Terminal pool events surface through settlement; re-publishing
+            # them as "progress" would double-report the lifecycle.
+            if event.kind in ("submitted", "cached", "completed", "failed", "timeout"):
+                return
+            self.bus.publish(
+                "progress",
+                record.key,
+                record.label,
+                record.state,
+                detail=event.kind,
+                runtime=event.runtime,
+            )
+
+        return forward
+
+    def _settle_outcome(self, record: JobRecord, outcome: JobOutcome) -> None:
+        state = "done" if outcome.ok else _TERMINAL_KINDS.get(outcome.status, "failed")
+        summary = dict(outcome.summary or {})
+        if outcome.ok:
+            summary["served"] = "cache" if outcome.status == "cached" else "solve"
+            if outcome.status == "cached":
+                self._served_from_cache += 1
+            else:
+                self._solved += 1
+        else:
+            self._failed += 1
+        settled = self.queue.settle(
+            record.key,
+            state,
+            summary=summary or None,
+            error=outcome.error,
+            runtime=outcome.runtime,
+        )
+        if settled:
+            self.bus.publish(
+                _TERMINAL_KINDS.get(outcome.status, "failed"),
+                record.key,
+                record.label,
+                state,
+                detail=outcome.error or "",
+                runtime=outcome.runtime,
+            )
+
+    def _settle_failure(self, record: JobRecord, error: str) -> None:
+        self._failed += 1
+        if self.queue.settle(record.key, "failed", error=error):
+            self.bus.publish("failed", record.key, record.label, "failed", detail=error)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, object]:
+        """The ``GET /stats`` document."""
+        counts = self.queue.counts()
+        return {
+            "uptime_s": round(time.time() - self.started_unix, 1),
+            "queue_depth": counts["queued"],
+            "running": counts["running"],
+            "jobs": counts,
+            "replayed_from_journal": self._replayed,
+            "solved": self._solved,
+            "served_from_cache": self._served_from_cache,
+            "attached": self._attached,
+            "failures": self._failed,
+            "dispatchers": self.concurrency,
+            "pool_workers": self.runner.workers,
+            "cache": self.cache.stats.as_dict(),
+            "journal_dropped_lines": self.queue.dropped_lines,
+        }
+
+    def resolve_job(self, key: str) -> Optional[LayoutJob]:
+        """Rebuild the runnable job of a known record (for exports)."""
+        record = self.queue.get(key)
+        if record is None:
+            return None
+        return job_from_document(record.document)

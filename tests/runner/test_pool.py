@@ -191,6 +191,29 @@ class TestProgressEvents:
         assert events[-1].label == "tiny:manual"
         assert str(events[-1]).startswith("tiny:manual")
 
+    def test_per_call_progress_on_run_one(self):
+        """run_one emits the same lifecycle stream a batch emits (the layout
+        service's SSE feed subscribes per dispatched job this way)."""
+        events = []
+        outcome = BatchRunner(workers=0).run_one(quick("single"), progress=events.append)
+        assert outcome.status == "completed"
+        assert [event.kind for event in events] == ["submitted", "completed"]
+
+    def test_per_call_progress_augments_pool_progress(self):
+        pool_events, call_events = [], []
+        runner = BatchRunner(workers=0, progress=pool_events.append)
+        runner.run_one(quick("both"), progress=call_events.append)
+        assert [e.kind for e in pool_events] == [e.kind for e in call_events]
+        assert len(call_events) == 2
+
+    def test_cached_outcome_reaches_per_call_progress(self, tmp_path):
+        runner = BatchRunner(cache_dir=tmp_path, workers=0)
+        runner.run_one(quick("cachedprog"))
+        events = []
+        outcome = runner.run_one(quick("cachedprog"), progress=events.append)
+        assert outcome.status == "cached"
+        assert [event.kind for event in events] == ["submitted", "cached"]
+
 
 class TestBatchRunner:
     def test_facade_round_trip(self, tmp_path):

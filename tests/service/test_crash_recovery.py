@@ -1,0 +1,149 @@
+"""Crash recovery: SIGKILL the daemon mid-queue, restart, lose nothing.
+
+The daemon runs as a real subprocess (``python -m repro.cli serve``) so the
+kill is the genuine article — no atexit handlers, no gentle shutdown.  The
+journal must replay every submitted-but-unsettled job on restart, and
+hashes that settled before the kill must be served from the result cache
+instead of being re-solved.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runner import GeneratorSpec, LayoutJob
+from repro.service import ServiceClient, job_to_document
+
+pytestmark = pytest.mark.slow  # boots subprocess daemons; a few seconds each
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def spawn_daemon(tmp_path, name):
+    """Start ``rfic-layout serve`` on an ephemeral port; return (proc, client)."""
+    port_file = tmp_path / f"{name}.port"
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = REPO_SRC + (os.pathsep + existing if existing else "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--host", "127.0.0.1", "--port", "0",
+            "--port-file", str(port_file),
+            "--data-dir", str(tmp_path / "data"),
+            "--inline", "--dispatchers", "1", "--quiet",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        cwd=str(tmp_path),
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if port_file.is_file() and port_file.read_text().strip():
+            break
+        if process.poll() is not None:
+            raise RuntimeError(f"daemon died on startup (exit {process.returncode})")
+        time.sleep(0.05)
+    else:
+        process.kill()
+        raise RuntimeError("daemon never published its port")
+    port = int(port_file.read_text().strip())
+    port_file.unlink()  # each epoch publishes its own port
+    return process, ServiceClient(f"http://127.0.0.1:{port}", timeout=30.0)
+
+
+def buffer60_document(tag):
+    return job_to_document(
+        LayoutJob(flow="manual", generator=GeneratorSpec("buffer60"), tag=tag)
+    )
+
+
+NUM_JOBS = 5
+
+
+class TestCrashRecovery:
+    def test_sigkill_loses_no_jobs_and_settled_hashes_come_from_cache(self, tmp_path):
+        process, client = spawn_daemon(tmp_path, "first")
+        keys = []
+        try:
+            for index in range(NUM_JOBS):
+                response = client.submit_document(buffer60_document(f"job-{index}"))
+                keys.append(response["key"])
+            assert len(set(keys)) == NUM_JOBS
+            # Let the single dispatcher get into (at most) the first solves,
+            # then kill it dead mid-queue.
+            time.sleep(0.7)
+        finally:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+
+        # ------------------------------------------------------------------
+        # Restart on the same data dir: the journal replays the backlog.
+        # ------------------------------------------------------------------
+        process, client = spawn_daemon(tmp_path, "second")
+        try:
+            stats = client.stats()
+            # Every submitted job is known to the reborn daemon...
+            for key in keys:
+                assert client.status(key)["state"] in (
+                    "queued", "running", "done",
+                ), f"job {key[:12]} lost across the crash"
+            # ...and the ones that had not settled were requeued for dispatch.
+            assert stats["replayed_from_journal"] >= 1
+
+            # Everything drains to done, without resubmission.
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if all(client.status(key)["state"] == "done" for key in keys):
+                    break
+                time.sleep(0.2)
+            states = {key: client.status(key)["state"] for key in keys}
+            assert set(states.values()) == {"done"}, states
+
+            # Exactly-once settlement: resubmitting every settled hash is
+            # served from the cache — the solve counter must not move.
+            solved_before = client.stats()["solved"]
+            hits_before = client.stats()["cache"]["hits"]
+            for index, key in enumerate(keys):
+                response = client.submit_document(buffer60_document(f"job-{index}"))
+                assert response["key"] == key
+                assert response["disposition"] in ("cached", "done")
+                assert response["state"] == "done"
+            stats = client.stats()
+            assert stats["solved"] == solved_before, "a settled hash was re-solved"
+            assert stats["cache"]["hits"] >= hits_before + NUM_JOBS
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+    def test_restart_preserves_settled_results_without_rerunning(self, tmp_path):
+        # Epoch 1: solve one job cleanly, shut down gently.
+        process, client = spawn_daemon(tmp_path, "one")
+        try:
+            response = client.submit_document(buffer60_document("stable"))
+            key = response["key"]
+            record = client.wait(key, timeout=120)
+            assert record["state"] == "done"
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+        # Epoch 2: the settled record survives, layout is served, and a
+        # resubmission never reaches the pool.
+        process, client = spawn_daemon(tmp_path, "two")
+        try:
+            record = client.status(key)
+            assert record["state"] == "done"
+            assert client.layout_document(key)["circuit"].startswith("buffer60")
+            response = client.submit_document(buffer60_document("stable"))
+            assert response["disposition"] in ("cached", "done")
+            assert client.stats()["solved"] == 0
+        finally:
+            process.terminate()
+            process.wait(timeout=10)

@@ -1,0 +1,211 @@
+"""Scheduler policy: dispatch, dedup, cache short-circuit, priority, fairness."""
+
+import time
+
+import pytest
+
+from repro.runner import LayoutJob
+from repro.runner.cache import ResultCache
+from repro.service import JobQueue, LayoutScheduler, job_to_document
+from tests.conftest import build_tiny_netlist
+
+
+def tiny_document(tag=""):
+    return job_to_document(
+        LayoutJob(flow="manual", netlist=build_tiny_netlist(), tag=tag)
+    )
+
+
+def make_scheduler(tmp_path, name="svc", concurrency=1):
+    queue = JobQueue(tmp_path / name, fsync=False)
+    cache = ResultCache(tmp_path / f"{name}-cache")
+    return LayoutScheduler(
+        queue=queue, cache=cache, concurrency=concurrency, pool_workers=0
+    )
+
+
+def wait_until(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+@pytest.fixture
+def scheduler(tmp_path):
+    instance = make_scheduler(tmp_path)
+    yield instance
+    instance.stop()
+
+
+class TestDispatch:
+    def test_job_runs_to_done_with_full_event_stream(self, scheduler):
+        subscription = scheduler.bus.subscribe(None, replay=False)
+        scheduler.start()
+        record, disposition = scheduler.submit(tiny_document())
+        assert disposition == "queued"
+        assert wait_until(lambda: scheduler.queue.get(record.key).terminal)
+        settled = scheduler.queue.get(record.key)
+        assert settled.state == "done"
+        assert settled.summary["served"] == "solve"
+        kinds = []
+        while True:
+            event = subscription.get(timeout=0.2)
+            if event is None:
+                break
+            kinds.append(event["kind"])
+        assert [k for k in kinds if k != "progress"] == ["queued", "running", "done"]
+
+    def test_sse_history_replays_after_settlement(self, scheduler):
+        scheduler.start()
+        record, _ = scheduler.submit(tiny_document())
+        assert wait_until(lambda: scheduler.queue.get(record.key).terminal)
+        late = scheduler.bus.subscribe(record.key, replay=True)
+        kinds = []
+        while True:
+            event = late.get(timeout=0.2)
+            if event is None:
+                break
+            kinds.append(event["kind"])
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "done"
+
+    def test_unresolvable_job_rejected_at_admission(self, scheduler):
+        from repro.errors import ReproError
+
+        document = tiny_document()
+        document["generator"] = {"circuit": "no-such-circuit"}
+        document.pop("netlist")
+        with pytest.raises(ReproError):
+            scheduler.submit(document)  # hash resolution fails => HTTP 400
+
+    def test_dispatch_error_settles_as_failed(self, scheduler):
+        record, _ = scheduler.submit(tiny_document())
+        record.document["flow"] = "magic"  # poison the stored job document
+        scheduler.start()
+        assert wait_until(lambda: scheduler.queue.get(record.key).terminal)
+        assert scheduler.queue.get(record.key).state == "failed"
+        assert scheduler.stats()["failures"] == 1
+
+
+class TestDedupAndCache:
+    def test_identical_submission_attaches_while_pending(self, scheduler):
+        # Scheduler not started: the first submission stays queued.
+        first, _ = scheduler.submit(tiny_document())
+        second, disposition = scheduler.submit(tiny_document())
+        assert disposition == "attached"
+        assert second.key == first.key
+        assert scheduler.stats()["attached"] == 1
+        scheduler.start()
+        assert wait_until(lambda: scheduler.queue.get(first.key).state == "done")
+        assert scheduler.stats()["solved"] == 1  # one solve despite two submissions
+
+    def test_settled_job_resubmission_serves_from_cache(self, scheduler):
+        scheduler.start()
+        record, _ = scheduler.submit(tiny_document())
+        assert wait_until(lambda: scheduler.queue.get(record.key).terminal)
+        hits_before = scheduler.cache.stats.hits
+        again, disposition = scheduler.submit(tiny_document())
+        assert disposition == "cached"
+        assert again.state == "done"
+        assert scheduler.cache.stats.hits == hits_before + 1
+        assert scheduler.stats()["solved"] == 1  # never re-solved
+
+    def test_vanished_cache_entry_forces_requeue(self, scheduler):
+        import shutil
+
+        scheduler.start()
+        record, _ = scheduler.submit(tiny_document())
+        assert wait_until(lambda: scheduler.queue.get(record.key).terminal)
+        scheduler.stop()
+        shutil.rmtree(scheduler.cache.root)  # the layout is gone for good
+
+        requeued, disposition = scheduler.submit(tiny_document())
+        assert disposition == "requeued"
+        assert requeued.state == "queued"
+        scheduler.start()
+        assert wait_until(lambda: scheduler.queue.get(record.key).state == "done")
+        assert scheduler.stats()["solved"] == 2  # genuinely re-solved
+        assert scheduler.cache.peek_key(record.key) is not None  # layout restored
+
+    def test_cache_short_circuit_across_epochs(self, tmp_path):
+        # First epoch solves and fills the cache.
+        first = make_scheduler(tmp_path, "first")
+        first.start()
+        record, _ = first.submit(tiny_document())
+        assert wait_until(lambda: first.queue.get(record.key).terminal)
+        first.stop()
+
+        # Second epoch: fresh journal, same cache => settle without running.
+        queue = JobQueue(tmp_path / "second", fsync=False)
+        second = LayoutScheduler(
+            queue=queue, cache=first.cache, concurrency=1, pool_workers=0
+        )
+        try:
+            revived, disposition = second.submit(tiny_document())
+            assert disposition == "cached"
+            assert revived.state == "done"
+            assert revived.summary["served"] == "cache"
+            assert second.stats()["solved"] == 0
+            assert second.stats()["served_from_cache"] == 1
+        finally:
+            second.stop()
+
+
+class TestOrdering:
+    def test_priority_classes_dispatch_best_first(self, scheduler):
+        # Submit before starting so ordering is purely the scheduler's choice.
+        scheduler.submit(tiny_document("bg"), priority="background")
+        scheduler.submit(tiny_document("ia"), priority="interactive")
+        scheduler.submit(tiny_document("bt"), priority="batch")
+        scheduler.start()
+        assert wait_until(lambda: all(r.terminal for r in scheduler.queue.records()))
+        records = {r.document["tag"]: r for r in scheduler.queue.records()}
+        assert (
+            records["ia"].started_unix
+            <= records["bt"].started_unix
+            <= records["bg"].started_unix
+        )
+
+    def test_per_client_fairness_round_robins(self, scheduler):
+        scheduler.submit(tiny_document("a1"), client="alice")
+        scheduler.submit(tiny_document("a2"), client="alice")
+        scheduler.submit(tiny_document("b1"), client="bob")
+        scheduler.start()
+        assert wait_until(lambda: all(r.terminal for r in scheduler.queue.records()))
+        records = {r.document["tag"]: r for r in scheduler.queue.records()}
+        # alice went first (FIFO), then bob (least recently served), then alice.
+        assert (
+            records["a1"].started_unix
+            <= records["b1"].started_unix
+            <= records["a2"].started_unix
+        )
+
+
+class TestStats:
+    def test_stats_document_shape(self, scheduler):
+        stats = scheduler.stats()
+        for field in (
+            "uptime_s",
+            "queue_depth",
+            "jobs",
+            "solved",
+            "served_from_cache",
+            "attached",
+            "failures",
+            "replayed_from_journal",
+            "cache",
+            "journal_dropped_lines",
+        ):
+            assert field in stats
+        assert stats["cache"]["lookups"] == 0
+        assert set(stats["jobs"]) == {
+            "queued",
+            "running",
+            "done",
+            "failed",
+            "timeout",
+            "cancelled",
+        }

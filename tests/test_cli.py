@@ -30,6 +30,39 @@ class TestParser:
             parser.parse_args(["generate", "x.json", "--flow", "magic"])
 
 
+class TestServiceCommands:
+    def test_help_epilog_documents_service_commands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        for token in ("serve", "submit", "status", "Server-Sent-Events", "journal"):
+            assert token in output
+
+    def test_submit_requires_a_netlist(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_submit_unknown_circuit_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["submit", "nosuch", "--service", "http://127.0.0.1:1"])
+
+    def test_submit_unreachable_service_exits_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["submit", "lna60", "--flow", "manual", "--service", "http://127.0.0.1:1"])
+
+    def test_status_unreachable_service_exits_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["status", "--service", "http://127.0.0.1:1"])
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8080
+        assert args.data_dir == ".rfic-service"
+        assert args.dispatchers == 2
+        assert not args.inline
+
+
 class TestCircuitsCommand:
     def test_lists_all_circuits(self, capsys):
         assert main(["circuits"]) == 0
@@ -130,10 +163,30 @@ class TestBatchCommand:
         )
         assert code == 0
         capsys.readouterr()
-        rows = json.loads(rows_path.read_text())
+        document = json.loads(rows_path.read_text())
+        rows = document["rows"]
         assert len(rows) == 1
         assert rows[0]["status"] == "completed"
         assert rows[0]["job"] == "lna60[0]:manual"
+        assert document["cache"] is None  # --no-cache => no footer counters
+        assert document["failures"] == 0
+
+    def test_batch_json_cache_footer_has_raw_counts(self, tmp_path, capsys):
+        rows_path = tmp_path / "rows.json"
+        args = [
+            "batch", "lna60", "--flow", "manual",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--workers", "0", "--quiet", "--json", str(rows_path),
+        ]
+        assert main(args) == 0
+        assert main(args) == 0  # second run hits the cache
+        capsys.readouterr()
+        cache = json.loads(rows_path.read_text())["cache"]
+        assert cache["hits"] == 1
+        assert cache["misses"] == 0
+        assert cache["lookups"] == 1
+        assert cache["stores"] == 0
+        assert cache["hit_rate"] == 1.0
 
     def test_batch_all_areas_adds_jobs(self, tmp_path, capsys):
         code = main(
@@ -146,6 +199,52 @@ class TestBatchCommand:
         output = capsys.readouterr().out
         assert "lna60[0]:manual" in output
         assert "lna60[1]:manual" in output
+
+    def test_timeout_makes_batch_exit_nonzero(self, capsys):
+        code = main(
+            [
+                "batch", "lna60", "--flow", "manual", "--no-cache",
+                "--workers", "1", "--timeout", "0.01", "--quiet",
+            ]
+        )
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "timeout" in output
+        assert "failed or timed out" in output
+
+    def test_default_cancels_rest_after_failure(self, tmp_path, capsys):
+        rows_path = tmp_path / "rows.json"
+        code = main(
+            [
+                "batch", "lna60", "--flow", "manual", "--all-areas", "--no-cache",
+                "--workers", "1", "--timeout", "0.01", "--quiet",
+                "--json", str(rows_path),
+            ]
+        )
+        assert code == 1
+        capsys.readouterr()
+        document = json.loads(rows_path.read_text())
+        statuses = [row["status"] for row in document["rows"]]
+        assert statuses[0] == "timeout"
+        assert "cancelled" in statuses  # the rest of the batch was cut short
+        assert document["failures"] == 1
+
+    def test_keep_going_runs_everything_but_still_fails(self, tmp_path, capsys):
+        rows_path = tmp_path / "rows.json"
+        code = main(
+            [
+                "batch", "lna60", "--flow", "manual", "--all-areas", "--no-cache",
+                "--workers", "1", "--timeout", "0.01", "--quiet", "--keep-going",
+                "--json", str(rows_path),
+            ]
+        )
+        assert code == 1
+        capsys.readouterr()
+        document = json.loads(rows_path.read_text())
+        statuses = [row["status"] for row in document["rows"]]
+        assert statuses == ["timeout", "timeout"]  # nothing was cancelled
+        assert document["failures"] == 2
+        assert document["keep_going"] is True
 
     def test_batch_sweep_generates_workload(self, tmp_path, capsys):
         code = main(
