@@ -58,11 +58,37 @@ service sub-commands:
            the job lifecycle (queued -> running -> done).
   submit   submit one netlist/benchmark-circuit job to a running service;
            --wait polls to completion, --watch streams its SSE events.
+           Both exit non-zero when the job settles failed/timeout/cancelled,
+           and --watch survives a dropped stream by reconnecting and
+           resuming from the last seen event (?after=<seq>).
   status   show one job's record, or the service-wide /stats summary
-           (queue depth, per-state counts, cache hit/miss statistics).
+           (queue depth, per-state counts, cache hit/miss statistics,
+           admission/supervision counters, health flags).
+
+robustness (PR 6):
+  backpressure   serve --max-queue N bounds the number of queued jobs;
+                 --class-limit CLASS=N bounds one priority class;
+                 past --shed-ratio of capacity, background-class work is
+                 shed early.  A refused submission gets HTTP 429 with a
+                 Retry-After header; clients (ServiceClient, table1/figure11
+                 --service, submit) retry with exponential backoff + jitter
+                 and honour the hint.  Submission is content-hash
+                 idempotent, so retries are always safe.
+  supervision    dispatcher threads restart on crash; a job that kills its
+                 worker --poison-threshold times is quarantined as
+                 failed ("poisoned: ..."); journal/cache write failures
+                 (ENOSPC, EIO) degrade the daemon (flagged in /healthz)
+                 instead of crashing it.
+  lifecycle      GET /healthz is liveness (always 200, degradation flags in
+                 the body); GET /readyz is readiness (503 while draining or
+                 saturated).  SIGTERM drains gracefully: admission stops,
+                 running jobs finish within --drain-grace (leftovers are
+                 requeued for the next epoch), the journal is compacted, and
+                 SSE streams close with a "shutdown" event.
 
 examples:
   rfic-layout serve --port 8080 --data-dir .rfic-service
+  rfic-layout serve --max-queue 64 --class-limit background=8 --drain-grace 30
   rfic-layout submit buffer60 --flow manual --service http://127.0.0.1:8080 --wait
   rfic-layout status --service http://127.0.0.1:8080
   rfic-layout table1 --fast --service http://127.0.0.1:8080
@@ -240,6 +266,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--job-timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=0, metavar="N",
+        help="maximum queued jobs before submissions get 429 (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--class-limit", action="append", default=None, metavar="CLASS=N",
+        help="per-priority-class queued-job limit (repeatable), e.g. "
+        "--class-limit background=8",
+    )
+    serve.add_argument(
+        "--shed-ratio", type=float, default=0.5, metavar="R",
+        help="fraction of --max-queue past which background-class work is "
+        "shed early (default: 0.5)",
+    )
+    serve.add_argument(
+        "--poison-threshold", type=int, default=3, metavar="N",
+        help="worker crashes before a job is quarantined as failed(poisoned) "
+        "(default: 3)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=30.0, metavar="S",
+        help="seconds a SIGTERM drain waits for running jobs before "
+        "requeueing them (default: 30)",
     )
     serve.add_argument("--quiet", action="store_true", help="suppress per-event log lines")
 
@@ -557,7 +607,23 @@ def _print_service_event(event) -> None:
     print(f"  [{event['kind']:>8}] {event['label']}{runtime}{detail}", flush=True)
 
 
+def _parse_class_limits(pairs: Optional[List[str]]) -> Optional[dict]:
+    if not pairs:
+        return None
+    limits = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if name not in ("interactive", "batch", "background") or not value.isdigit():
+            raise SystemExit(
+                f"error: bad --class-limit {pair!r} (expected CLASS=N with CLASS "
+                f"one of interactive/batch/background)"
+            )
+        limits[name] = int(value)
+    return limits
+
+
 def _command_serve(args: argparse.Namespace) -> int:
+    import signal
     import threading
 
     from repro.service import LayoutService
@@ -568,8 +634,27 @@ def _command_serve(args: argparse.Namespace) -> int:
         concurrency=args.dispatchers,
         inline=args.inline,
         job_timeout=args.job_timeout,
+        max_queue_depth=args.max_queue,
+        class_limits=_parse_class_limits(args.class_limit),
+        background_shed_ratio=args.shed_ratio,
+        poison_threshold=args.poison_threshold,
     )
     service.bind(host=args.host, port=args.port)
+
+    def _drain(signum, frame) -> None:
+        # The handler runs in the main thread, which is blocked inside
+        # serve_forever(); server.shutdown() must come from another thread
+        # or it deadlocks.  drain() ends with exactly that shutdown, which
+        # unblocks serve_forever and lets main exit normally.
+        print("SIGTERM: draining (admission stopped)...", flush=True)
+        threading.Thread(
+            target=service.drain,
+            kwargs={"timeout": args.drain_grace},
+            daemon=True,
+            name="drain",
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain)
     service.start()
     if args.port_file:
         service.write_port_file(args.port_file)
@@ -633,14 +718,29 @@ def _command_submit(args: argparse.Namespace) -> int:
             f"job {key[:12]} ({response['label']}): {response['disposition']} "
             f"[state: {response['state']}]"
         )
+        final_event = None
         if args.watch:
+            # iter_events reconnects dropped streams itself, resuming from
+            # the last seen seq; a "shutdown" event (daemon draining) ends
+            # the stream without settling the job.
             for event in client.iter_events(key, timeout=args.timeout):
                 _print_service_event(event)
+                if event["kind"] in ("done", "failed", "timeout", "cancelled"):
+                    final_event = event
         if args.wait or args.watch:
-            record = client.wait(key, timeout=args.timeout)
+            if final_event is not None:
+                state = str(final_event.get("state") or final_event["kind"])
+                try:
+                    record = client.status(key)
+                except ServiceError:
+                    # The stream already told us the outcome; a daemon that
+                    # went away since must not turn it into a crash.
+                    record = {"state": state, "error": final_event.get("detail")}
+            else:
+                record = client.wait(key, timeout=args.timeout)
+                state = str(record["state"])
             if record.get("summary"):
                 print(format_text_table([record["summary"]], title="job result"))
-            state = record["state"]
             if state != "done":
                 print(f"job settled as {state!r}: {record.get('error') or 'no detail'}")
                 return 1
@@ -693,6 +793,31 @@ def _print_status(client, args: argparse.Namespace) -> int:
         f"  cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
         f"{cache['stores']} store(s) (hit rate {cache['hit_rate']:.0%})"
     )
+    admission = stats.get("admission") or {}
+    if admission.get("max_queue_depth"):
+        print(
+            f"  admission: max queue {admission['max_queue_depth']}, "
+            f"{admission.get('rejected', 0)} rejected, "
+            f"{admission.get('shed', 0)} shed"
+        )
+    supervision = stats.get("supervision") or {}
+    if supervision:
+        print(
+            f"  supervision: {supervision.get('dispatcher_restarts', 0)} dispatcher "
+            f"restart(s), {supervision.get('crash_retries', 0)} crash retry(ies), "
+            f"{supervision.get('poisoned', 0)} poisoned"
+        )
+    health = stats.get("health") or {}
+    if health:
+        flags = []
+        if health.get("draining"):
+            flags.append("draining")
+        if health.get("journal_degraded"):
+            flags.append("journal degraded")
+        if not health.get("cache_writable", True):
+            flags.append("cache unwritable")
+        suffix = f" ({', '.join(flags)})" if flags else ""
+        print(f"  health: {health.get('status', 'unknown')}{suffix}")
     return 0
 
 

@@ -1,0 +1,329 @@
+"""Deterministic fault injection for chaos testing (``repro.faults``).
+
+Production code is instrumented with **named fault points** — one-line
+calls into the module-level :data:`FAULTS` injector at the places where
+the real world fails: journal appends (ENOSPC mid-write), cache stores
+(staging write / rename), worker execution (crash, hang, slow solve),
+dispatcher loops.  With no plan installed every fault point is a
+single attribute check, so the instrumentation is free in production.
+
+A **fault plan** is a list of :class:`FaultSpec` entries.  Whether a
+given call to a fault point fires is a pure function of
+
+* the point's *call index* (how many times it has been hit so far),
+* the spec's ``after`` / ``times`` window, and
+* the spec's ``chance``, decided by a RNG seeded from
+  ``(plan seed, point name, call index)``
+
+— so a plan replays identically on every run: no wall clocks, no global
+RNG state.  Call counters live in memory by default; with a
+``state_dir`` they are backed by append-only files, which makes the
+counting global across *forked worker processes* (the pool's one
+process per job) and across daemon restarts — "crash the worker the
+first three times this job runs, then let it succeed" works even though
+each attempt is a fresh child process.
+
+Actions
+-------
+``raise``
+    Raise an exception at the fault point.  ``errno_name`` selects a
+    real :class:`OSError` (``ENOSPC``, ``EIO``, ...) so the production
+    error-containment paths are exercised exactly as a full disk would
+    exercise them; without it a :class:`RuntimeError` is raised.
+``crash``
+    ``os._exit(exit_code)`` — a worker segfault / OOM-kill stand-in.
+    Only ever use at fault points that run inside sacrificial worker
+    processes.
+``sleep``
+    ``time.sleep(seconds)`` and continue — hangs and slow solves.
+``custom``
+    No built-in behaviour; the instrumented site interprets the spec
+    (e.g. the journal's torn-append point writes half a line, the cache
+    corruption point garbles the staged entry).
+
+Instrumented points (the canonical registry)
+--------------------------------------------
+=========================  ====================================================
+``journal.append``         :meth:`repro.service.queue.JobQueue._append` write
+``journal.append.torn``    same site, *custom*: write half the line (a torn
+                           append; ``action="crash"`` additionally kills the
+                           process, the genuine mid-append death)
+``journal.rotate``         :meth:`JobQueue.compact` after the staging snapshot
+                           is written, before ``os.replace``
+``cache.put.staging``      :meth:`ResultCache._write_entry` before the staged
+                           documents are written
+``cache.put.rename``       same method, before the atomic rename
+``cache.put.corrupt``      *custom*: after staging is written — garble a
+                           staged document so a corrupt entry lands on disk
+``worker.run``             pool worker (child process *and* inline path)
+                           just before ``job.run()``
+``scheduler.dispatch``     top of each dispatcher-loop iteration (outside the
+                           per-job error boundary — a firing ``raise`` kills
+                           the dispatcher thread and must be survived by the
+                           scheduler's supervision)
+=========================  ====================================================
+
+Cross-process activation: export ``REPRO_FAULTS`` as the JSON produced by
+:func:`env_payload` before spawning a daemon and the child process
+installs the plan at import time.
+"""
+
+from __future__ import annotations
+
+import errno as errno_module
+import hashlib
+import json
+import os
+import random
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+ENV_VAR = "REPRO_FAULTS"
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault: where it fires, when, and what it does."""
+
+    point: str
+    action: str = "raise"  #: raise | crash | sleep | custom
+    times: int = 1  #: how many eligible call indices fire (0 = unlimited)
+    after: int = 0  #: skip the first ``after`` calls to the point
+    chance: float = 1.0  #: per-eligible-call probability (seeded, deterministic)
+    errno_name: Optional[str] = None  #: ENOSPC / EIO / ... => OSError
+    message: str = ""
+    seconds: float = 0.0  #: sleep duration for ``action="sleep"``
+    exit_code: int = 1  #: status for ``action="crash"``
+
+    def matches(self, index: int) -> bool:
+        """Whether the fault is eligible at 0-based call ``index``."""
+        if index < self.after:
+            return False
+        if self.times > 0 and index >= self.after + self.times:
+            return False
+        return True
+
+    def build_exception(self) -> BaseException:
+        detail = self.message or f"injected fault at {self.point!r}"
+        if self.errno_name is not None:
+            code = getattr(errno_module, self.errno_name)
+            return OSError(code, f"{os.strerror(code)} [{detail}]")
+        return RuntimeError(detail)
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSpec":
+        return cls(**dict(data))
+
+
+class FaultInjector:
+    """Registry + trigger logic behind the module-level :data:`FAULTS`.
+
+    Thread-safe; fork-safe when a ``state_dir`` backs the call counters.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._specs: Dict[str, List[FaultSpec]] = {}
+        self._calls: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+        self._seed = 0
+        self._state_dir: Optional[Path] = None
+        self._armed = False
+
+    # ------------------------------------------------------------------ #
+    # plan management
+    # ------------------------------------------------------------------ #
+
+    def install(
+        self,
+        faults: Iterable[Union[FaultSpec, Dict[str, object]]],
+        seed: int = 0,
+        state_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        """Arm a plan (replacing any previous one)."""
+        specs: Dict[str, List[FaultSpec]] = {}
+        for fault in faults:
+            spec = fault if isinstance(fault, FaultSpec) else FaultSpec.from_dict(fault)
+            specs.setdefault(spec.point, []).append(spec)
+        with self._lock:
+            self._specs = specs
+            self._calls = {}
+            self._fired = {}
+            self._seed = seed
+            self._state_dir = Path(state_dir) if state_dir is not None else None
+            if self._state_dir is not None:
+                self._state_dir.mkdir(parents=True, exist_ok=True)
+            self._armed = bool(specs)
+
+    def clear(self) -> None:
+        """Disarm everything (fault points become no-ops again)."""
+        with self._lock:
+            self._specs = {}
+            self._calls = {}
+            self._fired = {}
+            self._state_dir = None
+            self._armed = False
+
+    @property
+    def active(self) -> bool:
+        return self._armed
+
+    # ------------------------------------------------------------------ #
+    # counters
+    # ------------------------------------------------------------------ #
+
+    def _state_file(self, point: str, kind: str) -> Path:
+        safe = point.replace("/", "_")
+        return self._state_dir / f"{safe}.{kind}"  # type: ignore[operator]
+
+    def _next_index(self, point: str) -> int:
+        """Claim the next 0-based call index for a point (global counter)."""
+        if self._state_dir is not None:
+            # One byte per call, O_APPEND: atomic across forked processes.
+            fd = os.open(
+                self._state_file(point, "calls"),
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+            try:
+                os.write(fd, b".")
+                return os.fstat(fd).st_size - 1
+            finally:
+                os.close(fd)
+        index = self._calls.get(point, 0)
+        self._calls[point] = index + 1
+        return index
+
+    def _record_fired(self, point: str) -> None:
+        self._fired[point] = self._fired.get(point, 0) + 1
+        if self._state_dir is not None:
+            fd = os.open(
+                self._state_file(point, "fired"),
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+            try:
+                os.write(fd, b".")
+            finally:
+                os.close(fd)
+
+    def calls(self, point: str) -> int:
+        """How many times the point has been hit under the current plan."""
+        with self._lock:
+            if self._state_dir is not None:
+                try:
+                    return self._state_file(point, "calls").stat().st_size
+                except OSError:
+                    return 0
+            return self._calls.get(point, 0)
+
+    def fired(self, point: str) -> int:
+        """How many times the point actually fired (cross-process aware)."""
+        with self._lock:
+            if self._state_dir is not None:
+                try:
+                    return self._state_file(point, "fired").stat().st_size
+                except OSError:
+                    return 0
+            return self._fired.get(point, 0)
+
+    # ------------------------------------------------------------------ #
+    # trigger API (what the instrumented code calls)
+    # ------------------------------------------------------------------ #
+
+    def hit(self, point: str) -> Optional[FaultSpec]:
+        """Consult the plan at a fault point; perform **no** action.
+
+        Returns the matching spec when the fault fires (for sites that
+        interpret ``custom`` actions themselves), else ``None``.
+        """
+        if not self._armed:
+            return None
+        with self._lock:
+            specs = self._specs.get(point)
+            if not specs:
+                return None
+            index = self._next_index(point)
+            for spec in specs:
+                if not spec.matches(index):
+                    continue
+                if spec.chance < 1.0:
+                    # Seeded by (plan, point, index) through a stable hash
+                    # (``hash()`` is salted per process): replays identically,
+                    # in forked workers and spawned daemons too.
+                    token = f"{self._seed}:{point}:{index}".encode("utf-8")
+                    roll = random.Random(hashlib.sha256(token).digest()).random()
+                    if roll >= spec.chance:
+                        continue
+                self._record_fired(point)
+                return spec
+            return None
+
+    def act(self, point: str) -> None:
+        """Consult the plan and *perform* the generic actions.
+
+        ``raise`` raises, ``crash`` exits the process, ``sleep`` blocks
+        then returns; ``custom`` specs are ignored here (their sites use
+        :meth:`hit`).
+        """
+        spec = self.hit(point)
+        if spec is None:
+            return
+        self.perform(spec)
+
+    @staticmethod
+    def perform(spec: FaultSpec) -> None:
+        if spec.action == "raise":
+            raise spec.build_exception()
+        if spec.action == "crash":
+            os._exit(spec.exit_code)
+        if spec.action == "sleep":
+            time.sleep(spec.seconds)
+
+
+#: The process-wide injector every instrumented fault point consults.
+FAULTS = FaultInjector()
+
+
+def env_payload(
+    faults: Iterable[Union[FaultSpec, Dict[str, object]]],
+    seed: int = 0,
+    state_dir: Optional[Union[str, Path]] = None,
+) -> str:
+    """The ``REPRO_FAULTS`` value arming a plan in a spawned process."""
+    return json.dumps(
+        {
+            "seed": seed,
+            "state_dir": str(state_dir) if state_dir is not None else None,
+            "faults": [
+                (fault.to_dict() if isinstance(fault, FaultSpec) else dict(fault))
+                for fault in faults
+            ],
+        }
+    )
+
+
+def install_from_env(injector: FaultInjector = FAULTS) -> bool:
+    """Arm the injector from ``REPRO_FAULTS`` (returns whether it did)."""
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return False
+    try:
+        payload = json.loads(raw)
+        injector.install(
+            payload.get("faults", []),
+            seed=int(payload.get("seed", 0)),
+            state_dir=payload.get("state_dir"),
+        )
+    except (ValueError, TypeError, KeyError) as exc:
+        raise RuntimeError(f"malformed {ENV_VAR}: {exc}") from None
+    return True
+
+
+install_from_env()

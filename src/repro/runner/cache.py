@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
 
 from repro.core.result import FlowResult
+from repro.faults import FAULTS
 from repro.layout.drc import run_drc
 from repro.layout.export_json import load_layout, save_layout
 from repro.layout.metrics import compute_metrics
@@ -50,6 +51,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    put_errors: int = 0  #: stores that failed on disk (ENOSPC, EIO, ...)
 
     @property
     def lookups(self) -> int:
@@ -72,6 +74,7 @@ class CacheStats:
             "misses": self.misses,
             "lookups": self.lookups,
             "stores": self.stores,
+            "put_errors": self.put_errors,
             "hit_rate": round(self.hit_rate, 3),
         }
 
@@ -114,6 +117,10 @@ class ResultCache:
     def __init__(self, root: PathLike) -> None:
         self.root = Path(root)
         self.stats = CacheStats()
+        #: Message of the most recent failed store, or ``None``.  Cleared
+        #: by the next successful store, so it doubles as a "cache is
+        #: currently writable" health flag.
+        self.last_put_error: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # addressing
@@ -173,24 +180,38 @@ class ResultCache:
             summary=dict(metrics.get("summary", {})),
         )
 
-    def put(self, job: LayoutJob, result: FlowResult) -> CachedResult:
+    def put(self, job: LayoutJob, result: FlowResult) -> Optional[CachedResult]:
         """Store a finished run (no-op when a valid entry already exists).
 
         A *corrupt or partial* existing entry is garbage, not data: it is
         removed and rewritten (the append-only guarantee protects valid
         entries only — without this the store could never self-heal).
+
+        A store that fails on disk (ENOSPC, EIO, staging write or rename)
+        is **contained**: it is counted in ``stats.put_errors``, recorded
+        in :attr:`last_put_error`, and ``None`` is returned — the caller
+        keeps the in-memory result and the run simply goes un-cached.  A
+        cache store must never fail the job that produced the result.
         """
         key = job.content_hash
         directory = self.entry_dir(key)
         entry = self.peek(job)
         if entry is not None:
             return entry
-        if directory.exists():
-            shutil.rmtree(directory, ignore_errors=True)
-        self._write_entry(job, result, key, directory)
+        try:
+            if directory.exists():
+                shutil.rmtree(directory, ignore_errors=True)
+            self._write_entry(job, result, key, directory)
+        except OSError as exc:
+            self.stats.put_errors += 1
+            self.last_put_error = f"{type(exc).__name__}: {exc}"
+            return None
         entry = self.peek(job)
         if entry is None:
-            raise OSError(f"cache entry {key} unreadable after store in {self.root}")
+            self.stats.put_errors += 1
+            self.last_put_error = f"cache entry {key[:12]} unreadable after store"
+            return None
+        self.last_put_error = None
         return entry
 
     def _sweep_stale_staging(self) -> None:
@@ -217,6 +238,7 @@ class ResultCache:
     ) -> None:
         self._sweep_stale_staging()
         staging = self.root / "tmp" / f"{key[:12]}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        FAULTS.act("cache.put.staging")
         staging.mkdir(parents=True, exist_ok=True)
         try:
             save_layout(result.layout, staging / LAYOUT_FILE)
@@ -237,7 +259,13 @@ class ResultCache:
                     "created_unix": time.time(),
                 },
             )
+            corrupt = FAULTS.hit("cache.put.corrupt")
+            if corrupt is not None:
+                # Garble a staged document so a corrupt entry lands on disk
+                # exactly as a torn write would leave it.
+                (staging / METRICS_FILE).write_text('{"torn": ', encoding="utf-8")
             directory.parent.mkdir(parents=True, exist_ok=True)
+            FAULTS.act("cache.put.rename")
             try:
                 staging.rename(directory)
             except OSError:

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.core.result import FlowResult
+from repro.faults import FAULTS
 from repro.layout.drc import run_drc
 from repro.layout.export_json import layout_from_dict, layout_to_dict
 from repro.layout.metrics import compute_metrics
@@ -141,15 +142,19 @@ def _child_main(job: LayoutJob, cache_root: Optional[str], conn) -> None:
     reports of the other workers in the batch.
     """
     try:
+        FAULTS.act("worker.run")
         result = job.run()
         payload: Dict[str, object] = {
             "summary": result.summary(),
             "phases": result.phase_table(),
             "runtime": result.runtime,
         }
+        entry = None
         if cache_root is not None:
-            ResultCache(cache_root).put(job, result)
-        else:
+            entry = ResultCache(cache_root).put(job, result)
+        if entry is None:
+            # No cache, or the store failed (full disk): the layout must
+            # travel over the pipe or the solve would be lost with it.
             payload["layout"] = layout_to_dict(result.layout)
         conn.send((True, payload))
     except BaseException as exc:  # noqa: BLE001 - isolation boundary
@@ -271,6 +276,7 @@ class WorkerPool:
             if outcome is None:
                 started = time.perf_counter()
                 try:
+                    FAULTS.act("worker.run")
                     result = job.run()
                 except Exception as exc:  # noqa: BLE001 - job boundary
                     outcome = JobOutcome(

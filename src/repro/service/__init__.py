@@ -28,7 +28,14 @@ exactly-once, keyed by the PR 3 content hash; a settled hash is served
 from the result cache, never re-solved.
 """
 
-from repro.service.client import RemoteRunner, ServiceClient, ServiceError
+from repro.service.client import (
+    CircuitOpenError,
+    RemoteRunner,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailableError,
+)
 from repro.service.daemon import DEFAULT_DATA_DIR, LayoutService
 from repro.service.documents import (
     DEFAULT_PRIORITY,
@@ -52,9 +59,16 @@ from repro.service.queue import (
     JobRecord,
     TERMINAL_STATES,
 )
-from repro.service.scheduler import EventBus, LayoutScheduler, Subscription
+from repro.service.scheduler import (
+    EventBus,
+    LayoutScheduler,
+    QueueSaturated,
+    ServiceDraining,
+    Subscription,
+)
 
 __all__ = [
+    "CircuitOpenError",
     "DEFAULT_DATA_DIR",
     "DEFAULT_PRIORITY",
     "EventBus",
@@ -65,9 +79,13 @@ __all__ = [
     "LayoutScheduler",
     "LayoutService",
     "PRIORITY_CLASSES",
+    "QueueSaturated",
     "RemoteRunner",
+    "RetryPolicy",
     "ServiceClient",
+    "ServiceDraining",
     "ServiceError",
+    "ServiceUnavailableError",
     "Subscription",
     "TERMINAL_EVENT_KINDS",
     "TERMINAL_STATES",

@@ -13,6 +13,7 @@ serves the HTTP API.  Everything under ``data_dir`` is restart-safe:
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 from typing import Optional, Union
 
@@ -38,6 +39,10 @@ class LayoutService:
         inline: bool = False,
         job_timeout: Optional[float] = None,
         fsync: bool = True,
+        max_queue_depth: int = 0,
+        class_limits: Optional[dict] = None,
+        background_shed_ratio: float = 0.5,
+        poison_threshold: int = 3,
     ) -> None:
         self.data_dir = Path(data_dir)
         self.cache = ResultCache(cache_dir if cache_dir is not None else self.data_dir / "cache")
@@ -48,8 +53,13 @@ class LayoutService:
             concurrency=concurrency,
             pool_workers=0 if inline else pool_workers,
             job_timeout=job_timeout,
+            max_queue_depth=max_queue_depth,
+            class_limits=class_limits,
+            background_shed_ratio=background_shed_ratio,
+            poison_threshold=poison_threshold,
         )
         self.server: Optional[LayoutHTTPServer] = None
+        self._server_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
 
@@ -83,10 +93,32 @@ class LayoutService:
             raise RuntimeError("service is not bound; call bind() first")
         self.server.serve_forever()
 
+    def _close_server(self) -> None:
+        """Stop and close the HTTP server exactly once (race-safe).
+
+        A SIGTERM drain thread and an explicit :meth:`shutdown` may run
+        concurrently; whoever claims the server under the lock closes it,
+        the other finds ``None`` and does nothing.
+        """
+        with self._server_lock:
+            server, self.server = self.server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+
     def shutdown(self) -> None:
         """Stop the HTTP server and the dispatchers (running jobs settle)."""
-        if self.server is not None:
-            self.server.shutdown()
-            self.server.server_close()
-            self.server = None
+        self._close_server()
         self.scheduler.stop()
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown (the SIGTERM path).
+
+        Admission stops first (submissions get 503, ``/readyz`` flips),
+        the scheduler drains — running jobs finish or are requeued, the
+        journal is compacted, SSE streams get a ``shutdown`` event — and
+        only then does the HTTP server stop, so in-flight status queries
+        and event streams end cleanly rather than on a dead socket.
+        """
+        self.scheduler.drain(timeout=timeout)
+        self._close_server()

@@ -18,11 +18,27 @@ Endpoints
 ``GET /jobs/{hash}/events``
     Server-Sent Events: the job's retained history is replayed, then live
     events stream until a terminal event (``done``/``failed``/``timeout``/
-    ``cancelled``) closes the stream.  Event schema: see
-    :mod:`repro.service.scheduler`.
+    ``cancelled``) or a drain's ``shutdown`` event closes the stream.
+    Each event carries an ``id:`` line (its bus ``seq``); a reconnecting
+    client passes ``?after=<seq>`` (or the standard ``Last-Event-ID``
+    header) to skip the history it has already seen.  Only the *replay* is
+    filtered — live events always flow, because ``seq`` restarts each
+    daemon epoch.  Event schema: see :mod:`repro.service.scheduler`.
 ``GET /stats``
-    Queue depth and per-state counts, scheduler counters, cache hit/miss
-    statistics, journal health.
+    Queue depth and per-state counts, scheduler counters, admission /
+    supervision counters, cache hit/miss statistics, journal health.
+``GET /healthz``
+    Liveness: always ``200``; the body carries degradation flags
+    (journal/cache write failures) and supervision counters.
+``GET /readyz``
+    Readiness: ``200`` when accepting work, ``503`` while draining or
+    hard-saturated.
+
+Overload responses: a submission the scheduler refuses for capacity gets
+``429`` with a ``Retry-After`` header (seconds, from the runtime EMA);
+one refused because the daemon is draining gets ``503``.  A request
+whose propagated ``X-Deadline-S`` budget is already spent gets ``504``
+without doing any work.
 
 The server is a :class:`ThreadingHTTPServer`: one thread per request, so
 any number of SSE streams can idle while submissions keep flowing.
@@ -32,6 +48,7 @@ from __future__ import annotations
 
 import json
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
@@ -40,10 +57,19 @@ from repro.layout.export_json import load_layout
 from repro.layout.export_svg import layout_to_svg
 from repro.service.documents import DEFAULT_CLIENT, expand_submission
 from repro.service.queue import JobRecord
-from repro.service.scheduler import TERMINAL_EVENT_KINDS, LayoutScheduler
+from repro.service.scheduler import (
+    TERMINAL_EVENT_KINDS,
+    LayoutScheduler,
+    QueueSaturated,
+    ServiceDraining,
+)
 
 #: Seconds between SSE keep-alive comments while a job is idle.
 _SSE_HEARTBEAT = 5.0
+
+#: Event kinds that end an SSE stream: per-job terminals plus the drain
+#: broadcast.
+_STREAM_END_KINDS = TERMINAL_EVENT_KINDS + ("shutdown",)
 
 
 class LayoutHTTPServer(ThreadingHTTPServer):
@@ -70,11 +96,18 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _send_json(self, payload: object, status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: object,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8") + b"\n"
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -98,17 +131,28 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         try:
-            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            raw_path, _, query = self.path.partition("?")
+            path = raw_path.rstrip("/") or "/"
             if path == "/stats":
                 self._send_json(self.scheduler.stats())
-            elif path in ("/", "/healthz"):
+            elif path == "/":
                 self._send_json({"service": "rfic-layout", "ok": True})
+            elif path == "/healthz":
+                # Liveness: a degraded daemon is still alive — the status
+                # code never changes, only the body.
+                self._send_json(dict(self.scheduler.health(), service="rfic-layout"))
+            elif path == "/readyz":
+                health = self.scheduler.health()
+                ready = not self.scheduler.draining and not self.scheduler.saturated()
+                self._send_json(
+                    dict(health, ready=ready), status=200 if ready else 503
+                )
             elif path == "/jobs":
                 self._send_json(
                     {"jobs": [r.status_dict() for r in self.scheduler.queue.records()]}
                 )
             elif path.startswith("/jobs/"):
-                self._get_job(path[len("/jobs/") :])
+                self._get_job(path[len("/jobs/") :], query)
             else:
                 self._send_error_json(404, f"no such resource: {path}")
         except (BrokenPipeError, ConnectionResetError):  # client went away
@@ -139,6 +183,17 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
 
     def _post_jobs(self) -> None:
+        deadline = self.headers.get("X-Deadline-S")
+        if deadline is not None:
+            try:
+                if float(deadline) <= 0:
+                    self._send_error_json(
+                        504, "client deadline already exhausted; not admitting"
+                    )
+                    return
+            except ValueError:
+                self._send_error_json(400, f"bad X-Deadline-S: {deadline!r}")
+                return
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
             self._send_error_json(400, "missing request body")
@@ -153,12 +208,25 @@ class _Handler(BaseHTTPRequestHandler):
             return
         priority = submission.pop("priority", None)
         client = str(submission.pop("client", DEFAULT_CLIENT))
+        results: List[Tuple[JobRecord, str]] = []
+        saturated: Optional[QueueSaturated] = None
         try:
             documents = expand_submission(submission)
-            results = [
-                self.scheduler.submit(document, priority=priority, client=client)
-                for document in documents
-            ]
+            for document in documents:
+                try:
+                    results.append(
+                        self.scheduler.submit(
+                            document, priority=priority, client=client
+                        )
+                    )
+                except QueueSaturated as exc:
+                    # Sweeps admit what fits; the remainder is reported so
+                    # the client can resubmit it after Retry-After.
+                    saturated = exc
+                    break
+        except ServiceDraining as exc:
+            self._send_json({"error": str(exc), "draining": True}, status=503)
+            return
         except (ConfigurationError, ReproError, KeyError, ValueError) as exc:
             self._send_error_json(400, str(exc))
             return
@@ -166,6 +234,20 @@ class _Handler(BaseHTTPRequestHandler):
             dict(record.status_dict(), disposition=disposition)
             for record, disposition in results
         ]
+        if saturated is not None:
+            retry_after = f"{saturated.retry_after:.0f}"
+            self._send_json(
+                {
+                    "error": str(saturated),
+                    "shed": saturated.shed,
+                    "retry_after_s": saturated.retry_after,
+                    "admitted": len(rows),
+                    "jobs": rows,
+                },
+                status=429,
+                headers={"Retry-After": retry_after},
+            )
+            return
         queued_any = any(d in ("queued", "requeued") for _, d in results)
         status = 202 if queued_any else 200
         if "sweep" in submission or len(rows) != 1:
@@ -173,7 +255,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json(rows[0], status=status)
 
-    def _get_job(self, rest: str) -> None:
+    def _get_job(self, rest: str, query: str = "") -> None:
         parts = rest.split("/")
         # Accept the full content hash or the unique prefix the CLI prints.
         record = self.scheduler.queue.find(parts[0])
@@ -184,7 +266,7 @@ class _Handler(BaseHTTPRequestHandler):
         if len(parts) == 1:
             self._send_json(record.status_dict())
         elif parts[1:] == ["events"]:
-            self._stream_events(key)
+            self._stream_events(key, after=self._resume_cursor(query))
         elif parts[1:] == ["layout.json"]:
             entry = self._entry_or_404(key, record.state)
             if entry is not None:
@@ -210,8 +292,19 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return entry
 
-    def _stream_events(self, key: str) -> None:
-        subscription = self.scheduler.bus.subscribe(key, replay=True)
+    def _resume_cursor(self, query: str) -> int:
+        """The reconnect cursor: ``?after=seq`` wins over ``Last-Event-ID``."""
+        params = urllib.parse.parse_qs(query)
+        raw = (params.get("after") or [None])[0]
+        if raw is None:
+            raw = self.headers.get("Last-Event-ID")
+        try:
+            return max(0, int(raw)) if raw is not None else 0
+        except ValueError:
+            return 0
+
+    def _stream_events(self, key: str, after: int = 0) -> None:
+        subscription = self.scheduler.bus.subscribe(key, replay=True, after=after)
         self.close_connection = True
         try:
             self.send_response(200)
@@ -237,14 +330,18 @@ class _Handler(BaseHTTPRequestHandler):
                     self.wfile.flush()
                     continue
                 self._write_sse(event)
-                if event["kind"] in TERMINAL_EVENT_KINDS:
+                if event["kind"] in _STREAM_END_KINDS:
                     break
         finally:
             subscription.close()
 
     def _write_sse(self, event: Dict[str, object]) -> None:
         payload = json.dumps(event, sort_keys=True)
-        self.wfile.write(f"event: {event['kind']}\ndata: {payload}\n\n".encode("utf-8"))
+        self.wfile.write(
+            f"id: {event['seq']}\nevent: {event['kind']}\ndata: {payload}\n\n".encode(
+                "utf-8"
+            )
+        )
         self.wfile.flush()
 
 

@@ -24,6 +24,15 @@ journal (``os.replace``), mirroring the result cache's staging-rename
 discipline — a reader sees either the old journal or the new one, never a
 half-written file.  A torn trailing line (the process died mid-append) is
 tolerated and dropped on replay.
+
+**Write failures degrade, never crash.**  An append or rotation that
+fails on disk (ENOSPC, EIO) puts the queue into *degraded* mode: the
+in-memory state keeps advancing (jobs still dispatch and settle), the
+failure is counted and surfaced through :attr:`JobQueue.degraded` /
+``GET /healthz``, and the next successful append clears the flag.  What
+is lost while degraded is durability only — a crash during that window
+replays the journal as of the last successful write, and the re-queued
+jobs re-settle from the deterministic solves / the result cache.
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
+from repro.faults import FAULTS
 from repro.service.documents import (
     DEFAULT_CLIENT,
     job_from_document,
@@ -75,6 +85,7 @@ class JobRecord:
     error: Optional[str] = None
     summary: Optional[Dict[str, object]] = None
     attach_count: int = 0  #: duplicate submissions that joined this record
+    attempts: int = 0  #: dispatch attempts (drives the poison quarantine)
 
     @property
     def terminal(self) -> bool:
@@ -100,6 +111,7 @@ class JobRecord:
             "error": self.error,
             "summary": self.summary,
             "attach_count": self.attach_count,
+            "attempts": self.attempts,
         }
 
     @classmethod
@@ -119,6 +131,7 @@ class JobRecord:
             error=data.get("error"),
             summary=data.get("summary"),
             attach_count=int(data.get("attach_count", 0)),
+            attempts=int(data.get("attempts", 0)),
         )
 
     def status_dict(self) -> Dict[str, object]:
@@ -153,20 +166,56 @@ class JobQueue:
         self._pending: Dict[str, JobRecord] = {}
         self._seq = 0
         self._dropped_lines = 0
+        self._write_errors = 0
+        #: Reason the queue is in degraded (durability-less) mode, or None.
+        self._degraded: Optional[str] = None
         self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._sweep_staging()
         self._replay()
 
     # ------------------------------------------------------------------ #
     # journal I/O
     # ------------------------------------------------------------------ #
 
+    def _sweep_staging(self) -> None:
+        """Remove rotation staging files a crashed predecessor left behind.
+
+        ``os.replace`` is atomic, so a leftover ``.journal-*.tmp`` means the
+        rotation never happened — the journal itself is intact and the
+        staging snapshot is garbage.
+        """
+        for leftover in self.data_dir.glob(".journal-*.tmp"):
+            try:
+                leftover.unlink()
+            except OSError:
+                continue
+
     def _append(self, entry: Dict[str, object]) -> None:
         line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
-        with self.journal_path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            if self.fsync:
+        torn = FAULTS.hit("journal.append.torn")
+        if torn is not None:
+            # A mid-append death: half the line reaches disk, no newline.
+            with self.journal_path.open("a", encoding="utf-8") as handle:
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
                 os.fsync(handle.fileno())
+            if torn.action == "crash":
+                os._exit(torn.exit_code)
+            return
+        try:
+            FAULTS.act("journal.append")
+            with self.journal_path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+        except OSError as exc:
+            # Disk trouble (ENOSPC, EIO): keep serving from memory, flag
+            # the lost durability, and let the next good append clear it.
+            self._write_errors += 1
+            self._degraded = f"journal append failed: {exc}"
+            return
+        self._degraded = None
         if self.journal_path.stat().st_size > self.max_journal_bytes:
             self.compact()
 
@@ -174,6 +223,20 @@ class JobQueue:
         """Rebuild in-memory state from the journal (startup recovery)."""
         if not self.journal_path.is_file():
             return
+        # A predecessor that died mid-append left a partial final line with
+        # no newline.  Terminate it now, or this epoch's first append would
+        # glue itself onto the fragment and corrupt a *good* record.
+        with self.journal_path.open("rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size > 0:
+                handle.seek(size - 1)
+                ends_clean = handle.read(1) == b"\n"
+            else:
+                ends_clean = True
+        if not ends_clean:
+            with self.journal_path.open("a", encoding="utf-8") as handle:
+                handle.write("\n")
         with self.journal_path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -226,6 +289,7 @@ class JobQueue:
             if record is not None and not record.terminal:
                 record.state = "running"
                 record.started_unix = entry.get("ts")
+                record.attempts += 1
         elif op == "settle":
             record = self._records.get(entry.get("key"))
             if record is None or record.terminal:
@@ -250,20 +314,31 @@ class JobQueue:
         """
         with self._lock:
             staging = self.data_dir / f".journal-{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp"
-            with staging.open("w", encoding="utf-8") as handle:
-                for record in sorted(self._records.values(), key=lambda r: r.seq):
-                    handle.write(
-                        json.dumps(
-                            {"op": "record", "record": record.to_dict()},
-                            sort_keys=True,
-                            separators=(",", ":"),
+            try:
+                with staging.open("w", encoding="utf-8") as handle:
+                    for record in sorted(self._records.values(), key=lambda r: r.seq):
+                        handle.write(
+                            json.dumps(
+                                {"op": "record", "record": record.to_dict()},
+                                sort_keys=True,
+                                separators=(",", ":"),
+                            )
+                            + "\n"
                         )
-                        + "\n"
-                    )
-                handle.flush()
-                if self.fsync:
-                    os.fsync(handle.fileno())
-            os.replace(staging, self.journal_path)
+                    handle.flush()
+                    if self.fsync:
+                        os.fsync(handle.fileno())
+                FAULTS.act("journal.rotate")
+                os.replace(staging, self.journal_path)
+            except OSError as exc:
+                # Failed rotation leaves the (oversized but valid) journal
+                # in place; degrade rather than crash, like _append.
+                self._write_errors += 1
+                self._degraded = f"journal rotation failed: {exc}"
+                try:
+                    staging.unlink()
+                except OSError:
+                    pass
 
     # ------------------------------------------------------------------ #
     # queue operations
@@ -346,6 +421,7 @@ class JobQueue:
             record = self._records[key]
             record.state = "running"
             record.started_unix = time.time()
+            record.attempts += 1
             self._pending.pop(key, None)
             self._append({"op": "start", "key": key, "ts": record.started_unix})
 
@@ -430,7 +506,25 @@ class JobQueue:
         """Jobs waiting for a dispatcher."""
         return self.counts()["queued"]
 
+    def pending_counts(self) -> Dict[str, int]:
+        """Queued jobs per priority class (admission-control input)."""
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for record in self._pending.values():
+                counts[record.priority] = counts.get(record.priority, 0) + 1
+            return counts
+
     @property
     def dropped_lines(self) -> int:
         """Journal lines discarded during replay (torn/foreign writes)."""
         return self._dropped_lines
+
+    @property
+    def write_errors(self) -> int:
+        """Journal writes (appends or rotations) that failed on disk."""
+        return self._write_errors
+
+    @property
+    def degraded(self) -> Optional[str]:
+        """Why durability is currently degraded, or ``None`` if healthy."""
+        return self._degraded

@@ -25,7 +25,25 @@ Event schema (also the SSE ``data:`` payload)::
 
 ``kind`` is one of ``queued | running | progress | done | failed |
 timeout | cancelled``; the last four are terminal and close any SSE
-stream subscribed to that job.
+stream subscribed to that job.  A draining daemon additionally emits a
+keyless ``shutdown`` event to every open stream.
+
+Robustness layer (PR 6)
+-----------------------
+* **Backpressure**: a bounded queue (``max_queue_depth``, optional
+  per-priority-class limits) rejects fresh work with
+  :class:`QueueSaturated` — surfaced as HTTP 429 with a ``Retry-After``
+  computed from the recent runtime EMA.  Past ``background_shed_ratio``
+  of capacity, ``background``-class submissions are shed early so bulk
+  traffic cannot crowd out interactive users.
+* **Supervision**: dispatcher threads run under a supervisor that
+  restarts them on any escaped exception (counted in
+  ``dispatcher_restarts``).  A job whose worker crashes is retried, and
+  quarantined as ``failed`` with a ``poisoned:`` error prefix once it
+  has burned ``poison_threshold`` attempts.
+* **Drain**: :meth:`LayoutScheduler.drain` stops admission, lets running
+  jobs finish (requeueing any leftovers), compacts the journal, and
+  broadcasts ``shutdown`` so SSE streams close cleanly.
 """
 
 from __future__ import annotations
@@ -35,11 +53,30 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.errors import ReproError
+from repro.faults import FAULTS
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import LayoutJob
 from repro.runner.pool import BatchRunner, JobOutcome, ProgressEvent
-from repro.service.documents import job_from_document, priority_rank
+from repro.service.documents import (
+    job_from_document,
+    priority_rank,
+    validate_priority,
+)
 from repro.service.queue import JobQueue, JobRecord
+
+
+class QueueSaturated(ReproError):
+    """Admission refused: the queue is at capacity (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after: float = 1.0, shed: bool = False):
+        super().__init__(message)
+        self.retry_after = max(1.0, retry_after)
+        self.shed = shed  #: True when rejected by background load shedding
+
+
+class ServiceDraining(ReproError):
+    """Admission refused: the daemon is shutting down (HTTP 503)."""
 
 #: Event kinds that close an SSE stream (canonical definition; the HTTP
 #: layer re-exports it).
@@ -132,7 +169,7 @@ class EventBus:
             return event
 
     def subscribe(
-        self, key: Optional[str] = None, replay: bool = True
+        self, key: Optional[str] = None, replay: bool = True, after: int = 0
     ) -> Subscription:
         """Start consuming events (``key=None`` = all jobs).
 
@@ -141,14 +178,45 @@ class EventBus:
         ``queued → ... → done`` sequence.  Subscribing and replay happen
         under one lock, so no event can fall between history and live
         delivery.
+
+        ``after`` filters the *history replay* to events with a greater
+        ``seq`` — the resume cursor of a reconnecting SSE client.  Live
+        events are never filtered: seq restarts at 1 each daemon epoch, so
+        a stale cursor must not be allowed to swallow fresh events.
         """
         subscription = Subscription(self, key)
         with self._lock:
             if replay and key is not None:
                 for event in self._history.get(key, []):
-                    subscription.mailbox.put_nowait(event)
+                    if int(event["seq"]) > after:
+                        subscription.mailbox.put_nowait(event)
             self._subscribers.append(subscription)
         return subscription
+
+    def broadcast_shutdown(self, detail: str = "service draining") -> None:
+        """Deliver a keyless ``shutdown`` event to every open subscription.
+
+        SSE streams treat it as terminal, so a drain closes them with an
+        explicit event instead of a silent TCP reset.  It is not recorded
+        in any per-job history (it belongs to the epoch, not a job).
+        """
+        with self._lock:
+            self._seq += 1
+            event = {
+                "seq": self._seq,
+                "ts": time.time(),
+                "kind": "shutdown",
+                "key": "",
+                "label": "",
+                "state": "",
+                "detail": detail,
+                "runtime": 0.0,
+            }
+            for subscription in self._subscribers:
+                try:
+                    subscription.mailbox.put_nowait(event)
+                except queue_module.Full:
+                    pass
 
     def unsubscribe(self, subscription: Subscription) -> None:
         with self._lock:
@@ -186,6 +254,10 @@ class LayoutScheduler:
         concurrency: int = 1,
         pool_workers: int = 1,
         job_timeout: Optional[float] = None,
+        max_queue_depth: int = 0,
+        class_limits: Optional[Dict[str, int]] = None,
+        background_shed_ratio: float = 0.5,
+        poison_threshold: int = 3,
     ) -> None:
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
@@ -195,6 +267,15 @@ class LayoutScheduler:
             cache_dir=cache, workers=pool_workers, job_timeout=job_timeout
         )
         self.concurrency = concurrency
+        #: Queued-job ceiling; 0 disables global backpressure.
+        self.max_queue_depth = max_queue_depth
+        #: Optional per-priority-class queued-job ceilings.
+        self.class_limits = dict(class_limits or {})
+        #: Fraction of ``max_queue_depth`` past which ``background``-class
+        #: submissions are shed before the queue is actually full.
+        self.background_shed_ratio = background_shed_ratio
+        #: Worker-crash attempts before a job is quarantined as poisoned.
+        self.poison_threshold = max(1, poison_threshold)
         self.bus = EventBus()
         self.started_unix = time.time()
         self._lock = threading.Lock()
@@ -207,6 +288,13 @@ class LayoutScheduler:
         self._served_from_cache = 0
         self._attached = 0
         self._failed = 0
+        self._draining = False
+        self._dispatcher_restarts = 0
+        self._poisoned = 0
+        self._crash_retries = 0
+        self._shed = 0
+        self._rejected = 0
+        self._runtime_ema = 0.0
         self._replayed = self.queue.depth()  # pending jobs inherited from the journal
 
     # ------------------------------------------------------------------ #
@@ -220,7 +308,7 @@ class LayoutScheduler:
         self._stop.clear()
         for index in range(self.concurrency):
             thread = threading.Thread(
-                target=self._dispatch_loop, name=f"dispatch-{index}", daemon=True
+                target=self._dispatch_thread, name=f"dispatch-{index}", daemon=True
             )
             thread.start()
             self._threads.append(thread)
@@ -233,6 +321,41 @@ class LayoutScheduler:
         for thread in self._threads:
             thread.join(timeout=timeout)
         self._threads = []
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; everything else keeps running."""
+        self._draining = True
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: the SIGTERM contract.
+
+        1. Stop admitting (new submissions get :class:`ServiceDraining`).
+        2. Let running jobs finish within ``timeout``; queued jobs stay
+           journaled as ``queued`` for the next epoch.
+        3. Stop the dispatchers; any job still ``running`` after that
+           (worker outlived the grace period) is requeued, so the journal
+           never records an in-flight job as anything but resumable.
+        4. Compact the journal (one snapshot line per record — the fastest
+           possible replay for the next epoch).
+        5. Broadcast ``shutdown`` so every SSE stream closes on an
+           explicit terminal event.
+        """
+        self.begin_drain()
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            if self.queue.counts()["running"] == 0:
+                break
+            time.sleep(0.05)
+        threads = list(self._threads)
+        self.stop(timeout=max(1.0, deadline - time.time()))
+        # Only touch leftover "running" records once no dispatcher survives
+        # to settle them out from under us.
+        if not any(thread.is_alive() for thread in threads):
+            for record in self.queue.records():
+                if record.state == "running":
+                    self.queue.requeue(record.key)
+        self.queue.compact()
+        self.bus.broadcast_shutdown()
 
     # ------------------------------------------------------------------ #
     # admission
@@ -251,7 +374,15 @@ class LayoutScheduler:
         (already settled), ``cached`` (settled right now from the result
         cache without running — the short-circuit counts as a cache hit in
         ``GET /stats``).
+
+        Raises :class:`ServiceDraining` while draining and
+        :class:`QueueSaturated` when admitting this job would exceed the
+        configured queue bounds.  Attaches and cache-served submissions
+        are exempt from the capacity check — they add no queue entry, and
+        refusing a free answer under overload would be perverse.
         """
+        if self._draining:
+            raise ServiceDraining("service is draining; not admitting jobs")
         job = job_from_document(document)
         key = job.content_hash
         with self._lock:
@@ -275,10 +406,15 @@ class LayoutScheduler:
                     return existing, "cached"
                 # Entry vanished (cache wiped/pruned): the journal says done
                 # but the layout is gone — force the work back into the queue.
+                self._check_capacity(existing.priority)
                 record = self.queue.requeue(key)
                 self.bus.publish("queued", key, record.label, "queued")
                 self._wakeup.notify()
                 return record, "requeued"
+            if self.cache.peek(job) is None:
+                # Fresh work that will actually occupy a queue slot (a
+                # cache hit settles instantly and is admission-exempt).
+                self._check_capacity(validate_priority(priority))
             record, disposition = self.queue.submit(document, priority, client)
             if disposition == "done":
                 return record, disposition
@@ -316,6 +452,58 @@ class LayoutScheduler:
         return self.cache.get(job)  # counts exactly one hit
 
     # ------------------------------------------------------------------ #
+    # backpressure
+    # ------------------------------------------------------------------ #
+
+    def _check_capacity(self, priority: str) -> None:
+        """Refuse admission when queue bounds would be exceeded.
+
+        Checks, in order: the per-class limit, background load shedding
+        (past ``background_shed_ratio`` of global capacity the lowest
+        class yields its remaining headroom to the others), the global
+        depth ceiling.  Raises :class:`QueueSaturated`; no-op when
+        ``max_queue_depth`` is 0 and no class limit applies.
+        """
+        pending = self.queue.pending_counts()
+        limit = self.class_limits.get(priority)
+        if limit is not None and pending.get(priority, 0) >= limit:
+            self._rejected += 1
+            raise QueueSaturated(
+                f"{priority} queue is full ({limit} jobs)",
+                retry_after=self._retry_after_hint(pending.get(priority, 0)),
+            )
+        if self.max_queue_depth <= 0:
+            return
+        depth = sum(pending.values())
+        if priority == "background":
+            shed_at = self.background_shed_ratio * self.max_queue_depth
+            if depth >= shed_at:
+                self._shed += 1
+                raise QueueSaturated(
+                    f"shedding background work (queue depth {depth} >= "
+                    f"{shed_at:.0f} of {self.max_queue_depth})",
+                    retry_after=self._retry_after_hint(depth),
+                    shed=True,
+                )
+        if depth >= self.max_queue_depth:
+            self._rejected += 1
+            raise QueueSaturated(
+                f"queue is full ({depth}/{self.max_queue_depth} jobs)",
+                retry_after=self._retry_after_hint(depth),
+            )
+
+    def _retry_after_hint(self, depth: int) -> float:
+        """Seconds until a queue slot plausibly frees up.
+
+        Estimated as (queued jobs / dispatcher count) service intervals of
+        the recent runtime EMA, clamped to [1, 60] — a hint, not a
+        promise, so the bound matters more than the precision.
+        """
+        interval = self._runtime_ema if self._runtime_ema > 0 else 1.0
+        estimate = interval * max(1, depth) / max(1, self.concurrency)
+        return min(60.0, max(1.0, estimate))
+
+    # ------------------------------------------------------------------ #
     # dispatch
     # ------------------------------------------------------------------ #
 
@@ -346,8 +534,27 @@ class LayoutScheduler:
         self.queue.mark_running(record.key)
         return record
 
+    def _dispatch_thread(self) -> None:
+        """Supervisor shell around :meth:`_dispatch_loop`.
+
+        Anything that escapes the loop (a bug outside the per-job error
+        boundary, an injected ``scheduler.dispatch`` fault) is counted and
+        the loop restarted — one bad iteration must not silently cost the
+        daemon a dispatcher for the rest of its life.
+        """
+        while not self._stop.is_set():
+            try:
+                self._dispatch_loop()
+            except BaseException:  # noqa: BLE001 - supervisor boundary
+                self._dispatcher_restarts += 1
+                continue
+            return
+
     def _dispatch_loop(self) -> None:
         while not self._stop.is_set():
+            # Outside the per-job boundary on purpose: a firing fault here
+            # kills the loop and must be survived by _dispatch_thread.
+            FAULTS.act("scheduler.dispatch")
             with self._wakeup:
                 record = self._select_next()
                 if record is None:
@@ -386,19 +593,48 @@ class LayoutScheduler:
     def _settle_outcome(self, record: JobRecord, outcome: JobOutcome) -> None:
         state = "done" if outcome.ok else _TERMINAL_KINDS.get(outcome.status, "failed")
         summary = dict(outcome.summary or {})
+        error = outcome.error
         if outcome.ok:
             summary["served"] = "cache" if outcome.status == "cached" else "solve"
             if outcome.status == "cached":
                 self._served_from_cache += 1
             else:
                 self._solved += 1
+                self._observe_runtime(outcome.runtime)
         else:
+            if self._is_worker_crash(outcome):
+                fresh = self.queue.get(record.key)
+                attempts = fresh.attempts if fresh is not None else record.attempts
+                if attempts < self.poison_threshold:
+                    # The crash may be environmental (OOM spike, injected
+                    # fault): give the job another worker — but only
+                    # poison_threshold of them in total.
+                    self._crash_retries += 1
+                    requeued = self.queue.requeue(record.key)
+                    self.bus.publish(
+                        "queued",
+                        record.key,
+                        record.label,
+                        "queued",
+                        detail=(
+                            f"retry {attempts}/{self.poison_threshold} "
+                            f"after worker crash"
+                        ),
+                    )
+                    with self._wakeup:
+                        self._wakeup.notify()
+                    del requeued
+                    return
+                # This job reliably kills its workers: quarantine it so it
+                # cannot eat the pool forever.
+                self._poisoned += 1
+                error = f"poisoned: {outcome.error} (attempts={attempts})"
             self._failed += 1
         settled = self.queue.settle(
             record.key,
             state,
             summary=summary or None,
-            error=outcome.error,
+            error=error,
             runtime=outcome.runtime,
         )
         if settled:
@@ -407,9 +643,31 @@ class LayoutScheduler:
                 record.key,
                 record.label,
                 state,
-                detail=outcome.error or "",
+                detail=error or "",
                 runtime=outcome.runtime,
             )
+
+    @staticmethod
+    def _is_worker_crash(outcome: JobOutcome) -> bool:
+        """Whether the outcome is a killed worker (retry-worthy).
+
+        Only crashes qualify: an ordinary failure or a timeout is a
+        deterministic property of the job and would just fail again.
+        """
+        return (
+            outcome.status == "failed"
+            and bool(outcome.error)
+            and "worker crashed" in outcome.error
+        )
+
+    def _observe_runtime(self, runtime: float) -> None:
+        """Feed the runtime EMA behind the ``Retry-After`` hint."""
+        if runtime <= 0:
+            return
+        if self._runtime_ema <= 0:
+            self._runtime_ema = runtime
+        else:
+            self._runtime_ema = 0.8 * self._runtime_ema + 0.2 * runtime
 
     def _settle_failure(self, record: JobRecord, error: str) -> None:
         self._failed += 1
@@ -420,9 +678,46 @@ class LayoutScheduler:
     # introspection
     # ------------------------------------------------------------------ #
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def health(self) -> Dict[str, object]:
+        """The ``GET /healthz`` document (also embedded in ``/stats``).
+
+        ``status`` is ``ok`` unless durability is degraded (journal write
+        failures sticking, cache unwritable) — degraded is still *alive*:
+        liveness probes always get HTTP 200, only the body changes.
+        """
+        journal_degraded = self.queue.degraded
+        cache_error = self.cache.last_put_error
+        degraded = journal_degraded is not None or cache_error is not None
+        return {
+            "status": "degraded" if degraded else "ok",
+            "draining": self._draining,
+            "journal_degraded": journal_degraded,
+            "journal_write_errors": self.queue.write_errors,
+            "cache_writable": cache_error is None,
+            "cache_put_error": cache_error,
+            "cache_put_errors": self.cache.stats.put_errors,
+            "dispatchers_alive": sum(
+                1 for thread in self._threads if thread.is_alive()
+            ),
+            "dispatcher_restarts": self._dispatcher_restarts,
+        }
+
+    def saturated(self) -> bool:
+        """Whether a fresh batch-class submission would be refused now."""
+        if self._draining:
+            return True
+        if self.max_queue_depth <= 0:
+            return False
+        return self.queue.depth() >= self.max_queue_depth
+
     def stats(self) -> Dict[str, object]:
         """The ``GET /stats`` document."""
         counts = self.queue.counts()
+        pending = self.queue.pending_counts()
         return {
             "uptime_s": round(time.time() - self.started_unix, 1),
             "queue_depth": counts["queued"],
@@ -437,6 +732,24 @@ class LayoutScheduler:
             "pool_workers": self.runner.workers,
             "cache": self.cache.stats.as_dict(),
             "journal_dropped_lines": self.queue.dropped_lines,
+            "admission": {
+                "max_queue_depth": self.max_queue_depth,
+                "class_limits": dict(self.class_limits),
+                "background_shed_ratio": self.background_shed_ratio,
+                "pending_by_class": pending,
+                "rejected": self._rejected,
+                "shed": self._shed,
+                "retry_after_hint_s": round(
+                    self._retry_after_hint(counts["queued"]), 1
+                ),
+            },
+            "supervision": {
+                "dispatcher_restarts": self._dispatcher_restarts,
+                "crash_retries": self._crash_retries,
+                "poisoned": self._poisoned,
+                "poison_threshold": self.poison_threshold,
+            },
+            "health": self.health(),
         }
 
     def resolve_job(self, key: str) -> Optional[LayoutJob]:

@@ -1,0 +1,47 @@
+"""Shared fixtures of the chaos suite (deterministic fault injection).
+
+Every test runs with a clean :data:`repro.faults.FAULTS` singleton — the
+autouse fixture clears any installed plan afterwards so a failing test
+cannot leak faults into the rest of the session.
+"""
+
+import time
+
+import pytest
+
+from repro.faults import FAULTS
+from repro.runner import LayoutJob
+from repro.runner.cache import ResultCache
+from repro.service import JobQueue, LayoutScheduler, job_to_document
+from tests.conftest import build_tiny_netlist
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    FAULTS.clear()
+    yield FAULTS
+    FAULTS.clear()
+
+
+def tiny_document(tag=""):
+    return job_to_document(
+        LayoutJob(flow="manual", netlist=build_tiny_netlist(), tag=tag)
+    )
+
+
+def make_scheduler(tmp_path, name="svc", concurrency=1, **kwargs):
+    """An inline-execution scheduler over a throwaway queue + cache."""
+    queue = JobQueue(tmp_path / name, fsync=False)
+    cache = ResultCache(tmp_path / f"{name}-cache")
+    return LayoutScheduler(
+        queue=queue, cache=cache, concurrency=concurrency, pool_workers=0, **kwargs
+    )
+
+
+def wait_until(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False

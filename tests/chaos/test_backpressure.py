@@ -1,0 +1,146 @@
+"""Admission backpressure: bounded queues, 429 + Retry-After, shedding."""
+
+import threading
+
+import pytest
+
+from repro.service import (
+    LayoutService,
+    QueueSaturated,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
+from tests.chaos.conftest import make_scheduler, tiny_document, wait_until
+
+pytestmark = pytest.mark.chaos
+
+
+class TestSchedulerBounds:
+    def test_global_depth_rejects_when_full(self, tmp_path):
+        scheduler = make_scheduler(tmp_path, max_queue_depth=2)
+        # Dispatchers never started: everything stays queued.
+        scheduler.submit(tiny_document("a"))
+        scheduler.submit(tiny_document("b"))
+        with pytest.raises(QueueSaturated) as excinfo:
+            scheduler.submit(tiny_document("c"))
+        assert excinfo.value.retry_after >= 1.0
+        assert scheduler.stats()["admission"]["rejected"] == 1
+
+    def test_class_limit_rejects_only_that_class(self, tmp_path):
+        scheduler = make_scheduler(
+            tmp_path, max_queue_depth=10, class_limits={"interactive": 1}
+        )
+        scheduler.submit(tiny_document("a"), priority="interactive")
+        with pytest.raises(QueueSaturated):
+            scheduler.submit(tiny_document("b"), priority="interactive")
+        record, disposition = scheduler.submit(tiny_document("c"), priority="batch")
+        assert disposition == "queued"
+
+    def test_background_is_shed_before_the_queue_fills(self, tmp_path):
+        scheduler = make_scheduler(
+            tmp_path, max_queue_depth=4, background_shed_ratio=0.5
+        )
+        scheduler.submit(tiny_document("a"))
+        scheduler.submit(tiny_document("b"))  # depth 2 = shed threshold
+        with pytest.raises(QueueSaturated) as excinfo:
+            scheduler.submit(tiny_document("c"), priority="background")
+        assert excinfo.value.shed
+        # Higher classes still get the remaining capacity.
+        record, disposition = scheduler.submit(tiny_document("d"), priority="batch")
+        assert disposition == "queued"
+        assert scheduler.stats()["admission"]["shed"] == 1
+
+    def test_attach_bypasses_capacity(self, tmp_path):
+        scheduler = make_scheduler(tmp_path, max_queue_depth=1)
+        record, _ = scheduler.submit(tiny_document("a"))
+        # Identical resubmission attaches — no new slot needed, no 429.
+        again, disposition = scheduler.submit(tiny_document("a"))
+        assert disposition == "attached"
+        assert again.key == record.key
+
+    def test_cache_hit_bypasses_capacity(self, tmp_path):
+        scheduler = make_scheduler(tmp_path, max_queue_depth=1, concurrency=1)
+        scheduler.start()
+        record, _ = scheduler.submit(tiny_document("warm"))
+        assert wait_until(lambda: scheduler.queue.get(record.key).terminal)
+        scheduler.stop()
+        # Queue is now empty; fill the single slot, then resubmit the
+        # solved job through a *fresh* scheduler sharing the cache: it is
+        # served from cache even though the queue is saturated.
+        fresh = make_scheduler(tmp_path, name="svc2", max_queue_depth=1)
+        fresh.cache = scheduler.cache
+        fresh.submit(tiny_document("filler"))
+        served, disposition = fresh.submit(tiny_document("warm"))
+        assert disposition == "cached"
+        assert served.state == "done"
+
+
+class TestHTTPBackpressure:
+    @pytest.fixture
+    def service(self, tmp_path):
+        instance = LayoutService(
+            data_dir=tmp_path / "svc",
+            inline=True,
+            concurrency=1,
+            fsync=False,
+            max_queue_depth=2,
+        )
+        instance.scheduler.stop()  # freeze dispatch: jobs stay queued
+        instance.bind(port=0)
+        threading.Thread(target=instance.serve_forever, daemon=True).start()
+        yield instance
+        instance.shutdown()
+
+    def test_saturated_queue_is_429_with_retry_after(self, service):
+        client = ServiceClient(
+            f"http://127.0.0.1:{service.port}",
+            retry=RetryPolicy(attempts=1),
+        )
+        client.submit_document(tiny_document("a"))
+        client.submit_document(tiny_document("b"))
+        with pytest.raises(ServiceError, match="429") as excinfo:
+            client.submit_document(tiny_document("c"))
+        assert excinfo.value.retry_after is not None
+
+    def test_readyz_flips_to_503_when_saturated(self, service):
+        client = ServiceClient(
+            f"http://127.0.0.1:{service.port}", retry=RetryPolicy(attempts=1)
+        )
+        assert client._json("/readyz")["ready"] is True
+        client.submit_document(tiny_document("a"))
+        client.submit_document(tiny_document("b"))
+        with pytest.raises(ServiceError, match="503"):
+            client._json("/readyz")
+
+    def test_client_retry_succeeds_once_capacity_frees(self, service):
+        """The acceptance scenario: 429 now, success after the retry."""
+        client = ServiceClient(
+            f"http://127.0.0.1:{service.port}",
+            retry=RetryPolicy(attempts=6, base_delay=0.1, max_delay=0.3, jitter=0.0),
+        )
+        client.submit_document(tiny_document("a"))
+        client.submit_document(tiny_document("b"))
+
+        def free_capacity():
+            # While the client is backing off, the dispatcher "catches up".
+            service.scheduler.start()
+
+        timer = threading.Timer(0.3, free_capacity)
+        timer.start()
+        try:
+            response = client.submit_document(tiny_document("c"))
+        finally:
+            timer.cancel()
+        assert response["disposition"] in ("queued", "attached", "cached")
+        stats = client.stats()
+        assert stats["admission"]["rejected"] >= 1
+
+    def test_healthz_always_answers(self, service):
+        client = ServiceClient(
+            f"http://127.0.0.1:{service.port}", retry=RetryPolicy(attempts=1)
+        )
+        client.submit_document(tiny_document("a"))
+        client.submit_document(tiny_document("b"))
+        health = client.health()  # saturated, but alive
+        assert health["status"] in ("ok", "degraded")

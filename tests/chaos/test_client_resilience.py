@@ -1,0 +1,262 @@
+"""Client-side containment: retries, circuit breaker, deadlines, SSE resume."""
+
+import json
+import random
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service import (
+    CircuitOpenError,
+    LayoutService,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from tests.chaos.conftest import tiny_document
+
+pytestmark = pytest.mark.chaos
+
+
+def closed_port():
+    """A port nothing listens on (bound once, then released)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Plays back whatever behaviour the test put on the server object."""
+
+    protocol_version = "HTTP/1.0"  # close after each response: easy EOFs
+
+    def log_message(self, *args):  # noqa: D102 - silence test output
+        pass
+
+    def _dispatch(self):
+        self.server.requests.append(
+            {"path": self.path, "headers": dict(self.headers)}
+        )
+        self.server.script(self)
+
+    do_GET = _dispatch
+    do_POST = _dispatch
+
+    def reply_json(self, payload, status=200, headers=None):
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def begin_sse(self):
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.end_headers()
+
+    def sse_event(self, seq, kind, key="job"):
+        payload = json.dumps(
+            {"seq": seq, "kind": kind, "key": key, "state": kind, "detail": ""}
+        )
+        self.wfile.write(
+            f"id: {seq}\nevent: {kind}\ndata: {payload}\n\n".encode("utf-8")
+        )
+
+
+class _StubServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def handle_error(self, request, client_address):
+        pass  # scripted connection deaths are intentional, not noise
+
+
+@pytest.fixture
+def scripted_server():
+    server = _StubServer(("127.0.0.1", 0), _ScriptedHandler)
+    server.requests = []
+    server.script = lambda handler: handler.reply_json({"ok": True})
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def make_client(server, **kwargs):
+    kwargs.setdefault("retry", RetryPolicy(attempts=4, base_delay=0.02, jitter=0.0))
+    return ServiceClient(f"http://127.0.0.1:{server.server_address[1]}", **kwargs)
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_then_caps(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, max_delay=0.5, jitter=0.0)
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_stays_within_band_and_is_seedable(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=8.0, jitter=0.5)
+        one = random.Random(42)
+        two = random.Random(42)
+        delays = [policy.delay(1, one) for _ in range(64)]
+        assert all(0.5 <= delay <= 1.5 for delay in delays)
+        assert delays == [policy.delay(1, two) for _ in range(64)]  # seeded
+
+
+class TestRetries:
+    def test_429_is_retried_until_capacity(self, scripted_server):
+        def script(handler):
+            if len(scripted_server.requests) == 1:
+                handler.reply_json(
+                    {"error": "queue is full"}, status=429,
+                    headers={"Retry-After": "0.05"},
+                )
+            else:
+                handler.reply_json({"key": "k", "disposition": "queued"})
+
+        scripted_server.script = script
+        client = make_client(scripted_server)
+        response = client._json("/jobs", {"demo": True})
+        assert response["disposition"] == "queued"
+        assert len(scripted_server.requests) == 2
+
+    def test_non_transient_errors_fail_immediately(self, scripted_server):
+        scripted_server.script = lambda handler: handler.reply_json(
+            {"error": "no such job"}, status=404
+        )
+        client = make_client(scripted_server)
+        with pytest.raises(ServiceError, match="404"):
+            client._json("/jobs/deadbeef")
+        assert len(scripted_server.requests) == 1  # no retry on a real error
+
+    def test_deadline_caps_the_retry_dance(self):
+        client = ServiceClient(
+            f"http://127.0.0.1:{closed_port()}",
+            timeout=0.2,
+            retry=RetryPolicy(attempts=50, base_delay=0.05, jitter=0.0),
+            breaker_threshold=1000,
+        )
+        start = time.monotonic()
+        with pytest.raises(ServiceError, match="deadline"):
+            client._json("/stats", deadline=0.4)
+        assert time.monotonic() - start < 5.0
+
+    def test_deadline_is_propagated_to_the_server(self, scripted_server):
+        client = make_client(scripted_server)
+        client._json("/jobs", {"demo": True}, deadline=7.5)
+        header = scripted_server.requests[0]["headers"].get("X-Deadline-S")
+        assert header is not None
+        assert 0.0 < float(header) <= 7.5
+
+
+class TestCircuitBreaker:
+    def test_opens_after_repeated_network_failures_then_recovers(
+        self, scripted_server
+    ):
+        dead = threading.Event()
+        dead.set()
+
+        def script(handler):
+            if dead.is_set():
+                handler.connection.close()  # mid-handshake death: a network error
+            else:
+                handler.reply_json({"status": "ok"})
+
+        scripted_server.script = script
+        client = make_client(
+            scripted_server,
+            retry=RetryPolicy(attempts=1),
+            breaker_threshold=2,
+            breaker_reset=0.3,
+        )
+        for _ in range(2):
+            with pytest.raises(ServiceUnavailableError):
+                client._json("/healthz")
+        assert client.breaker_state == "open"
+        with pytest.raises(CircuitOpenError):
+            client._json("/healthz")  # fails fast, no socket touched
+        requests_while_open = len(scripted_server.requests)
+
+        time.sleep(0.35)
+        assert client.breaker_state == "half-open"
+        dead.clear()  # the server comes back; the half-open probe heals
+        assert client.health()["status"] == "ok"
+        assert client.breaker_state == "closed"
+        assert len(scripted_server.requests) == requests_while_open + 1
+
+    def test_saturation_does_not_trip_the_breaker(self, scripted_server):
+        scripted_server.script = lambda handler: handler.reply_json(
+            {"error": "full"}, status=429, headers={"Retry-After": "1"}
+        )
+        client = make_client(
+            scripted_server, retry=RetryPolicy(attempts=1), breaker_threshold=1
+        )
+        for _ in range(3):
+            with pytest.raises(ServiceUnavailableError):
+                client._json("/jobs", {"demo": True})
+        # A full queue is not an outage: the breaker must stay closed so
+        # the saturation-retry loop can keep probing for capacity.
+        assert client.breaker_state == "closed"
+
+
+class TestSSEReconnect:
+    def test_dropped_stream_resumes_from_last_seq(self, scripted_server):
+        def script(handler):
+            streams = [r for r in scripted_server.requests if "/events" in r["path"]]
+            handler.begin_sse()
+            if len(streams) == 1:
+                handler.sse_event(1, "queued")
+                handler.sse_event(2, "running")
+                # ... connection drops without a terminal event.
+            else:
+                handler.sse_event(3, "done")
+
+        scripted_server.script = script
+        client = make_client(scripted_server)
+        events = list(client.iter_events("job", timeout=10))
+        assert [event["kind"] for event in events] == ["queued", "running", "done"]
+        streams = [r for r in scripted_server.requests if "/events" in r["path"]]
+        assert len(streams) == 2
+        assert "after=2" in streams[1]["path"]  # resumed, not replayed
+
+    def test_reconnect_budget_is_finite(self, scripted_server):
+        scripted_server.script = lambda handler: handler.begin_sse()  # always empty
+        client = make_client(
+            scripted_server, retry=RetryPolicy(attempts=2, base_delay=0.01)
+        )
+        with pytest.raises(ServiceUnavailableError, match="without a"):
+            list(client.iter_events("job", timeout=10))
+        streams = [r for r in scripted_server.requests if "/events" in r["path"]]
+        assert len(streams) == 2
+
+    def test_reconnect_disabled_raises_on_first_drop(self, scripted_server):
+        def script(handler):
+            handler.begin_sse()
+            handler.sse_event(1, "queued")
+
+        scripted_server.script = script
+        client = make_client(scripted_server)
+        with pytest.raises(ServiceError):
+            list(client.iter_events("job", timeout=10, reconnect=False))
+
+
+class TestDeadlineAgainstRealService:
+    def test_expired_deadline_is_refused_with_504(self, tmp_path):
+        service = LayoutService(
+            data_dir=tmp_path / "svc", inline=True, concurrency=1, fsync=False
+        )
+        service.scheduler.stop()
+        service.bind(port=0)
+        threading.Thread(target=service.serve_forever, daemon=True).start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{service.port}", retry=RetryPolicy(attempts=1)
+            )
+            with pytest.raises(ServiceError, match="504"):
+                client._request("/jobs", tiny_document("late"), deadline_s=0.0)
+        finally:
+            service.shutdown()

@@ -1,0 +1,142 @@
+"""Degraded-mode operation: disk failures contain, flag, and recover."""
+
+import pytest
+
+from repro.faults import FAULTS, FaultSpec
+from repro.service import JobQueue
+from tests.chaos.conftest import make_scheduler, tiny_document, wait_until
+
+pytestmark = pytest.mark.chaos
+
+
+class TestJournalDegradation:
+    def test_append_enospc_degrades_but_serves(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        scheduler.start()
+        try:
+            FAULTS.install(
+                [FaultSpec(point="journal.append", errno_name="ENOSPC", times=2)]
+            )
+            record, disposition = scheduler.submit(tiny_document("enospc"))
+            assert disposition == "queued"
+            # The daemon keeps working from memory: the job still settles.
+            assert wait_until(lambda: scheduler.queue.get(record.key).terminal)
+            assert scheduler.queue.get(record.key).state == "done"
+            assert scheduler.queue.write_errors >= 1
+        finally:
+            scheduler.stop()
+
+    def test_degraded_flag_clears_on_next_good_write(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", fsync=False)
+        FAULTS.install([FaultSpec(point="journal.append", errno_name="ENOSPC", times=1)])
+        queue.submit(tiny_document("first"))
+        assert queue.degraded is not None
+        assert queue.write_errors == 1
+        queue.submit(tiny_document("second"))  # disk "recovered"
+        assert queue.degraded is None
+        assert queue.write_errors == 1
+
+    def test_lost_append_replays_as_resubmittable(self, tmp_path):
+        """A submit whose journal line was lost is simply gone after a
+        crash — and resubmitting it is safe (content-hash idempotent)."""
+        queue = JobQueue(tmp_path / "q", fsync=False)
+        FAULTS.install([FaultSpec(point="journal.append", errno_name="ENOSPC", times=1)])
+        lost, _ = queue.submit(tiny_document("lost"))
+        kept, _ = queue.submit(tiny_document("kept"))
+        FAULTS.clear()
+        replayed = JobQueue(tmp_path / "q", fsync=False)
+        keys = {record.key for record in replayed.records()}
+        assert kept.key in keys
+        assert lost.key not in keys  # durability was lost, not correctness
+        resubmitted, disposition = replayed.submit(tiny_document("lost"))
+        assert disposition == "queued"
+        assert resubmitted.key == lost.key
+
+    def test_rotation_failure_keeps_valid_journal(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", fsync=False, max_journal_bytes=1)
+        FAULTS.install([FaultSpec(point="journal.rotate", errno_name="EIO", times=0)])
+        for index in range(3):
+            queue.submit(tiny_document(f"rot{index}"))
+        assert queue.degraded is not None
+        assert not list((tmp_path / "q").glob(".journal-*.tmp"))  # staging cleaned
+        FAULTS.clear()
+        replayed = JobQueue(tmp_path / "q", fsync=False)
+        assert len(replayed.records()) == 3
+
+    def test_health_endpoint_reports_degradation(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        FAULTS.install([FaultSpec(point="journal.append", errno_name="ENOSPC", times=1)])
+        scheduler.submit(tiny_document("x"))
+        health = scheduler.health()
+        assert health["status"] == "degraded"
+        assert "journal append failed" in health["journal_degraded"]
+        assert health["journal_write_errors"] == 1
+
+
+class TestTornAppends:
+    def test_torn_line_is_dropped_on_replay(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", fsync=False)
+        keep, _ = queue.submit(tiny_document("keep"))
+        FAULTS.install([FaultSpec(point="journal.append.torn", action="custom")])
+        torn, _ = queue.submit(tiny_document("torn"))
+        FAULTS.clear()
+        replayed = JobQueue(tmp_path / "q", fsync=False)
+        keys = {record.key for record in replayed.records()}
+        assert keep.key in keys
+        assert torn.key not in keys
+        assert replayed.dropped_lines == 1
+
+    def test_restart_terminates_torn_line_before_appending(self, tmp_path):
+        """The epoch after a mid-append death must not glue its first
+        append onto the torn fragment (which would corrupt a good record)."""
+        queue = JobQueue(tmp_path / "q", fsync=False)
+        FAULTS.install(
+            [FaultSpec(point="journal.append.torn", action="custom", times=1)]
+        )
+        queue.submit(tiny_document("torn"))  # the writer "died" here
+        FAULTS.clear()
+        restarted = JobQueue(tmp_path / "q", fsync=False)
+        after, _ = restarted.submit(tiny_document("after"))
+        replayed = JobQueue(tmp_path / "q", fsync=False)
+        assert after.key in {record.key for record in replayed.records()}
+        assert replayed.dropped_lines == 1  # the fragment, nothing else
+
+
+class TestCacheDegradation:
+    def test_uncachable_job_still_settles_done(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        scheduler.start()
+        try:
+            FAULTS.install(
+                [FaultSpec(point="cache.put.staging", errno_name="ENOSPC", times=0)]
+            )
+            record, _ = scheduler.submit(tiny_document("uncached"))
+            assert wait_until(lambda: scheduler.queue.get(record.key).terminal)
+            settled = scheduler.queue.get(record.key)
+            assert settled.state == "done"  # the solve survived the dead cache
+            assert scheduler.cache.stats.put_errors >= 1
+            health = scheduler.health()
+            assert health["status"] == "degraded"
+            assert health["cache_writable"] is False
+        finally:
+            scheduler.stop()
+
+    def test_corrupt_cache_entry_is_resolved_not_served(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        scheduler.start()
+        try:
+            FAULTS.install(
+                [FaultSpec(point="cache.put.corrupt", action="custom", times=1)]
+            )
+            record, _ = scheduler.submit(tiny_document("corrupt"))
+            assert wait_until(lambda: scheduler.queue.get(record.key).terminal)
+            assert scheduler.queue.get(record.key).state == "done"
+            FAULTS.clear()
+            # The corrupted store never produced a usable entry; a second
+            # epoch must re-solve (requeue), not serve garbage.
+            fresh = make_scheduler(tmp_path, name="svc")
+            fresh.cache = scheduler.cache
+            resubmitted, disposition = fresh.submit(tiny_document("corrupt"))
+            assert disposition in ("queued", "requeued")
+        finally:
+            scheduler.stop()

@@ -1,0 +1,139 @@
+"""Graceful drain: stop admitting, settle the journal, end every stream."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service import (
+    JobQueue,
+    LayoutService,
+    RetryPolicy,
+    ServiceClient,
+    ServiceDraining,
+    ServiceError,
+)
+from repro.faults import FAULTS, FaultSpec
+from tests.chaos.conftest import make_scheduler, tiny_document, wait_until
+
+pytestmark = pytest.mark.chaos
+
+
+def journal_settles_by_key(journal_path):
+    counts = {}
+    with journal_path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if entry.get("op") == "settle":
+                key = entry["key"]
+                counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class TestSchedulerDrain:
+    def test_draining_scheduler_refuses_submissions(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        scheduler.begin_drain()
+        with pytest.raises(ServiceDraining):
+            scheduler.submit(tiny_document("late"))
+        assert scheduler.draining
+
+    def test_drain_under_load_loses_no_jobs(self, tmp_path):
+        """The acceptance invariant: every submitted job is either settled
+        (exactly once) or replayable as queued after the drain."""
+        scheduler = make_scheduler(tmp_path, concurrency=2)
+        FAULTS.install(
+            # Every solve dawdles so the drain genuinely overlaps work.
+            [FaultSpec(point="worker.run", action="sleep", seconds=0.05, times=0)]
+        )
+        scheduler.start()
+        keys = [scheduler.submit(tiny_document(f"load{i}"))[0].key for i in range(8)]
+        scheduler.drain(timeout=30)
+
+        # Every job is either settled or journaled as resumable — drain may
+        # stop dispatch before the backlog empties, but nothing may be lost
+        # and nothing may be stuck "running".
+        for key in keys:
+            assert scheduler.queue.get(key).state in ("done", "queued")
+        replayed = JobQueue(tmp_path / "svc", fsync=False)
+        assert {r.key for r in replayed.records()} >= set(keys)
+        # Exactly-once settlement: at most one terminal event per key.
+        terminal = ("done", "failed", "timeout", "cancelled")
+        for key in keys:
+            events = scheduler.bus.history(key)
+            assert sum(1 for e in events if e["kind"] in terminal) <= 1
+
+    def test_concurrent_dispatch_settles_each_hash_exactly_once(self, tmp_path):
+        scheduler = make_scheduler(tmp_path, concurrency=3)
+        scheduler.start()
+        try:
+            keys = [
+                scheduler.submit(tiny_document(f"once{i}"))[0].key for i in range(6)
+            ]
+            assert wait_until(
+                lambda: all(scheduler.queue.get(k).terminal for k in keys)
+            )
+        finally:
+            scheduler.stop()
+        # The journal (un-compacted here) is the ground truth.
+        settles = journal_settles_by_key(scheduler.queue.journal_path)
+        assert set(settles) == set(keys)
+        assert all(count == 1 for count in settles.values())
+
+    def test_drain_settles_journal_and_keeps_queued_work(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)  # dispatchers never started
+        keys = [scheduler.submit(tiny_document(f"q{i}"))[0].key for i in range(3)]
+        scheduler.drain(timeout=5)
+        # Drain compacts: the journal is a clean snapshot, and the queued
+        # work survives into the next epoch untouched.
+        with scheduler.queue.journal_path.open("r", encoding="utf-8") as handle:
+            ops = [json.loads(line)["op"] for line in handle if line.strip()]
+        assert ops and all(op == "record" for op in ops)
+        replayed = JobQueue(tmp_path / "svc", fsync=False)
+        for key in keys:
+            assert replayed.get(key).state == "queued"
+
+
+class TestServiceDrain:
+    @pytest.fixture
+    def service(self, tmp_path):
+        instance = LayoutService(
+            data_dir=tmp_path / "svc", inline=True, concurrency=1, fsync=False
+        )
+        instance.scheduler.stop()  # freeze dispatch: jobs stay queued
+        instance.bind(port=0)
+        threading.Thread(target=instance.serve_forever, daemon=True).start()
+        yield instance
+        instance.shutdown()
+
+    def test_sse_stream_ends_with_shutdown_event(self, service):
+        client = ServiceClient(
+            f"http://127.0.0.1:{service.port}", retry=RetryPolicy(attempts=1)
+        )
+        response = client.submit_document(tiny_document("watched"))
+        key = response["key"]
+        timer = threading.Timer(0.3, service.drain, kwargs={"timeout": 5})
+        timer.start()
+        try:
+            events = list(client.iter_events(key, timeout=10, reconnect=False))
+        finally:
+            timer.cancel()
+        assert events[-1]["kind"] == "shutdown"
+
+    def test_draining_service_is_not_ready_and_refuses_jobs(self, service):
+        client = ServiceClient(
+            f"http://127.0.0.1:{service.port}", retry=RetryPolicy(attempts=1)
+        )
+        service.scheduler.begin_drain()
+        with pytest.raises(ServiceError, match="503"):
+            client._json("/readyz")
+        with pytest.raises(ServiceError, match="503"):
+            client.submit_document(tiny_document("late"))
+        # Liveness is unaffected: healthz still answers 200.
+        assert client.health()["draining"] is True

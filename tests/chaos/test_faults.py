@@ -1,0 +1,130 @@
+"""The fault-injection harness itself: determinism, windows, counters."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.faults import ENV_VAR, FAULTS, FaultInjector, FaultSpec, env_payload
+
+pytestmark = pytest.mark.chaos
+
+
+class TestSpecWindows:
+    def test_times_and_after_window(self):
+        spec = FaultSpec(point="p", after=2, times=3)
+        fired = [index for index in range(10) if spec.matches(index)]
+        assert fired == [2, 3, 4]
+
+    def test_unlimited_times(self):
+        spec = FaultSpec(point="p", times=0, after=1)
+        assert not spec.matches(0)
+        assert all(spec.matches(index) for index in range(1, 50))
+
+    def test_errno_builds_real_oserror(self):
+        exc = FaultSpec(point="p", errno_name="ENOSPC").build_exception()
+        assert isinstance(exc, OSError)
+        import errno
+
+        assert exc.errno == errno.ENOSPC
+
+    def test_round_trips_through_dict(self):
+        spec = FaultSpec(
+            point="x", action="sleep", seconds=1.5, after=2, chance=0.25
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestInjector:
+    def test_inactive_injector_is_a_no_op(self):
+        injector = FaultInjector()
+        assert injector.hit("anything") is None
+        injector.act("anything")  # must not raise
+        assert injector.calls("anything") == 0
+
+    def test_raise_action_fires_within_window(self):
+        injector = FaultInjector()
+        injector.install([FaultSpec(point="p", errno_name="EIO", times=2)])
+        with pytest.raises(OSError):
+            injector.act("p")
+        with pytest.raises(OSError):
+            injector.act("p")
+        injector.act("p")  # window exhausted
+        assert injector.calls("p") == 3
+        assert injector.fired("p") == 2
+
+    def test_chance_is_deterministic_per_seed(self):
+        outcomes = []
+        for _ in range(2):
+            injector = FaultInjector()
+            injector.install(
+                [FaultSpec(point="p", times=0, chance=0.5)], seed=1234
+            )
+            outcomes.append(
+                [injector.hit("p") is not None for _ in range(64)]
+            )
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0]) and not all(outcomes[0])
+
+    def test_different_seeds_differ(self):
+        rolls = {}
+        for seed in (1, 2):
+            injector = FaultInjector()
+            injector.install([FaultSpec(point="p", times=0, chance=0.5)], seed=seed)
+            rolls[seed] = [injector.hit("p") is not None for _ in range(64)]
+        assert rolls[1] != rolls[2]
+
+    def test_state_dir_counters_survive_reinstall(self, tmp_path):
+        plan = [FaultSpec(point="p", errno_name="EIO", times=1)]
+        first = FaultInjector()
+        first.install(plan, state_dir=tmp_path)
+        with pytest.raises(OSError):
+            first.act("p")
+        # A second injector (another process in real life) sees the global
+        # index and does NOT re-fire the exhausted one-shot fault.
+        second = FaultInjector()
+        second.install(plan, state_dir=tmp_path)
+        second.act("p")
+        assert second.calls("p") == 2
+        assert second.fired("p") == 1
+
+
+class TestCrossProcess:
+    def test_env_payload_arms_a_subprocess(self, tmp_path):
+        payload = env_payload(
+            [FaultSpec(point="demo", errno_name="ENOSPC")],
+            seed=7,
+            state_dir=tmp_path,
+        )
+        code = (
+            "from repro.faults import FAULTS\n"
+            "assert FAULTS.active\n"
+            "try:\n"
+            "    FAULTS.act('demo')\n"
+            "except OSError as exc:\n"
+            "    print('fired', exc.errno)\n"
+        )
+        env = dict(os.environ, **{ENV_VAR: payload})
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd="/root/repo",
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.startswith("fired")
+        # The file-backed counter recorded the subprocess's hit.
+        parent = FaultInjector()
+        parent.install([FaultSpec(point="demo")], state_dir=tmp_path)
+        assert parent.calls("demo") == 1
+
+    def test_payload_is_json(self):
+        payload = json.loads(env_payload([FaultSpec(point="x")], seed=3))
+        assert payload["seed"] == 3
+        assert payload["faults"][0]["point"] == "x"

@@ -1,0 +1,137 @@
+"""Supervision: dispatcher restarts, crash retries, poison quarantine."""
+
+import pytest
+
+from repro.faults import FAULTS, FaultSpec
+from repro.runner.cache import ResultCache
+from repro.service import JobQueue, LayoutScheduler
+from tests.chaos.conftest import make_scheduler, tiny_document, wait_until
+
+pytestmark = pytest.mark.chaos
+
+
+def make_pool_scheduler(tmp_path, poison_threshold=3, job_timeout=None):
+    """A scheduler with a real fork-per-job worker pool (crash isolation)."""
+    queue = JobQueue(tmp_path / "q", fsync=False)
+    cache = ResultCache(tmp_path / "cache")
+    return LayoutScheduler(
+        queue=queue,
+        cache=cache,
+        concurrency=1,
+        pool_workers=1,
+        job_timeout=job_timeout,
+        poison_threshold=poison_threshold,
+    )
+
+
+class TestDispatcherSupervision:
+    def test_dispatcher_survives_injected_crash(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        FAULTS.install(
+            [FaultSpec(point="scheduler.dispatch", message="loop bomb", times=3)]
+        )
+        scheduler.start()
+        try:
+            record, _ = scheduler.submit(tiny_document("survivor"))
+            assert wait_until(lambda: scheduler.queue.get(record.key).terminal)
+            assert scheduler.queue.get(record.key).state == "done"
+            stats = scheduler.stats()
+            assert stats["supervision"]["dispatcher_restarts"] >= 1
+            assert stats["health"]["dispatchers_alive"] == 1
+        finally:
+            scheduler.stop()
+
+
+class TestWorkerCrashes:
+    def test_crash_once_then_succeed(self, tmp_path):
+        scheduler = make_pool_scheduler(tmp_path, poison_threshold=3)
+        # state_dir makes the call counter global across the forked
+        # workers: the first attempt crashes, the retry's fresh worker
+        # sees index 1 and runs clean.
+        FAULTS.install(
+            [FaultSpec(point="worker.run", action="crash", times=1, exit_code=9)],
+            state_dir=tmp_path / "faults",
+        )
+        scheduler.start()
+        try:
+            record, _ = scheduler.submit(tiny_document("flaky"))
+            assert wait_until(lambda: scheduler.queue.get(record.key).terminal, 60)
+            settled = scheduler.queue.get(record.key)
+            assert settled.state == "done"
+            assert settled.attempts == 2
+            assert scheduler.stats()["supervision"]["crash_retries"] == 1
+        finally:
+            scheduler.stop()
+
+    def test_persistent_crasher_is_quarantined_as_poisoned(self, tmp_path):
+        scheduler = make_pool_scheduler(tmp_path, poison_threshold=2)
+        FAULTS.install(
+            [FaultSpec(point="worker.run", action="crash", times=0)],
+            state_dir=tmp_path / "faults",
+        )
+        scheduler.start()
+        try:
+            record, _ = scheduler.submit(tiny_document("poison"))
+            assert wait_until(lambda: scheduler.queue.get(record.key).terminal, 60)
+            settled = scheduler.queue.get(record.key)
+            assert settled.state == "failed"
+            assert settled.error.startswith("poisoned:")
+            assert settled.attempts == 2  # exactly poison_threshold workers died
+            stats = scheduler.stats()["supervision"]
+            assert stats["poisoned"] == 1
+            assert stats["crash_retries"] == 1
+        finally:
+            scheduler.stop()
+
+    def test_quarantine_does_not_block_other_jobs(self, tmp_path):
+        scheduler = make_pool_scheduler(tmp_path, poison_threshold=2)
+        FAULTS.install(
+            # Crash only the first two worker runs: the poisoned job eats
+            # its quarantine budget, the healthy job runs clean.
+            [FaultSpec(point="worker.run", action="crash", times=2)],
+            state_dir=tmp_path / "faults",
+        )
+        scheduler.start()
+        try:
+            bad, _ = scheduler.submit(tiny_document("bad"))
+            assert wait_until(lambda: scheduler.queue.get(bad.key).terminal, 60)
+            FAULTS.clear()
+            good, _ = scheduler.submit(tiny_document("good"))
+            assert wait_until(lambda: scheduler.queue.get(good.key).terminal, 60)
+            assert scheduler.queue.get(bad.key).state == "failed"
+            assert scheduler.queue.get(good.key).state == "done"
+        finally:
+            scheduler.stop()
+
+    def test_hung_worker_is_timed_out_not_retried(self, tmp_path):
+        scheduler = make_pool_scheduler(tmp_path, job_timeout=1.0)
+        FAULTS.install(
+            [FaultSpec(point="worker.run", action="sleep", seconds=30.0, times=1)],
+            state_dir=tmp_path / "faults",
+        )
+        scheduler.start()
+        try:
+            record, _ = scheduler.submit(tiny_document("hang"))
+            assert wait_until(lambda: scheduler.queue.get(record.key).terminal, 60)
+            settled = scheduler.queue.get(record.key)
+            # A timeout is a deterministic property of the job, not an
+            # environmental crash: no retry, no quarantine.
+            assert settled.state == "timeout"
+            assert settled.attempts == 1
+            assert scheduler.stats()["supervision"]["crash_retries"] == 0
+        finally:
+            scheduler.stop()
+
+
+class TestAttemptsSurviveRestart:
+    def test_attempts_replay_from_journal(self, tmp_path):
+        """A crasher cannot reset its quarantine budget by killing the
+        daemon: attempts ride the journal's start ops."""
+        queue = JobQueue(tmp_path / "q", fsync=False)
+        record, _ = queue.submit(tiny_document("counted"))
+        queue.mark_running(record.key)
+        assert queue.get(record.key).attempts == 1
+        replayed = JobQueue(tmp_path / "q", fsync=False)
+        again = replayed.get(record.key)
+        assert again.attempts == 1
+        assert again.state == "queued"  # in-flight job came back resumable

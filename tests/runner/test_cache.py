@@ -146,6 +146,85 @@ class TestRobustness:
         assert cache.get(job) is None
 
 
+class TestPutFailureContainment:
+    """Disk failures during a store are contained, not propagated."""
+
+    @pytest.fixture(autouse=True)
+    def _clear_faults(self):
+        from repro.faults import FAULTS
+
+        yield
+        FAULTS.clear()
+
+    def test_enospc_on_staging_is_contained(self, tmp_path, manual_job_and_result):
+        from repro.faults import FAULTS, FaultSpec
+
+        job, result = manual_job_and_result
+        cache = ResultCache(tmp_path)
+        FAULTS.install([FaultSpec(point="cache.put.staging", errno_name="ENOSPC")])
+        entry = cache.put(job, result)
+        assert entry is None
+        assert cache.stats.put_errors == 1
+        assert "ENOSPC" in cache.last_put_error or "No space" in cache.last_put_error
+        assert not cache.contains(job)
+
+    def test_eio_on_rename_is_contained(self, tmp_path, manual_job_and_result):
+        from repro.faults import FAULTS, FaultSpec
+
+        job, result = manual_job_and_result
+        cache = ResultCache(tmp_path)
+        FAULTS.install([FaultSpec(point="cache.put.rename", errno_name="EIO")])
+        assert cache.put(job, result) is None
+        assert cache.stats.put_errors == 1
+        # No staging garbage survives the failed store.
+        staging = tmp_path / "tmp"
+        assert not staging.exists() or not any(staging.iterdir())
+
+    def test_next_put_recovers_and_clears_flag(self, tmp_path, manual_job_and_result):
+        from repro.faults import FAULTS, FaultSpec
+
+        job, result = manual_job_and_result
+        cache = ResultCache(tmp_path)
+        FAULTS.install(
+            [FaultSpec(point="cache.put.staging", errno_name="ENOSPC", times=1)]
+        )
+        assert cache.put(job, result) is None
+        assert cache.last_put_error is not None
+        entry = cache.put(job, result)  # the fault window has passed
+        assert entry is not None
+        assert cache.last_put_error is None
+        assert cache.stats.put_errors == 1
+
+    def test_injected_corruption_counts_as_put_error(
+        self, tmp_path, manual_job_and_result
+    ):
+        from repro.faults import FAULTS, FaultSpec
+
+        job, result = manual_job_and_result
+        cache = ResultCache(tmp_path)
+        FAULTS.install([FaultSpec(point="cache.put.corrupt", action="custom")])
+        assert cache.put(job, result) is None
+        assert cache.stats.put_errors == 1
+        FAULTS.clear()
+        # The corrupt entry is a miss, and the next put self-heals it.
+        assert cache.get(job) is None
+        assert cache.put(job, result) is not None
+        assert cache.get(job) is not None
+
+    def test_append_only_still_wins_over_faults(self, tmp_path, manual_job_and_result):
+        from repro.faults import FAULTS, FaultSpec
+
+        job, result = manual_job_and_result
+        cache = ResultCache(tmp_path)
+        first = cache.put(job, result)
+        assert first is not None
+        FAULTS.install([FaultSpec(point="cache.put.staging", errno_name="ENOSPC")])
+        # A valid entry exists, so put never reaches the staging write.
+        again = cache.put(job, result)
+        assert again is not None
+        assert cache.stats.put_errors == 0
+
+
 class TestIteration:
     def test_iter_entries_lists_all(self, tmp_path, manual_job_and_result):
         job, result = manual_job_and_result
