@@ -20,6 +20,9 @@ Environment knobs
 from __future__ import annotations
 
 import os
+import time
+
+import _snapshot
 
 from repro.core import PILPConfig
 from repro.core.config import PhaseSettings
@@ -51,5 +54,16 @@ def bench_config() -> PILPConfig:
 
 
 def run_once(benchmark, function, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The wall-clock of the run also lands in the ``BENCH_*.json``
+    trajectory (see :mod:`_snapshot`) — including under
+    ``--benchmark-disable``, where pytest-benchmark itself records
+    nothing but still calls the function once.
+    """
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    _snapshot.record_timing(time.perf_counter() - start)
+    return result

@@ -1,0 +1,74 @@
+"""Benchmark-side bridge to the ``BENCH_*.json`` snapshot trajectory.
+
+``_bench_utils.run_once`` reports every timed experiment here; the
+timings accumulate per benchmark module and ``benchmarks/conftest.py``
+flushes them at session end through
+:mod:`repro.loadgen.snapshot` — so running
+
+    pytest benchmarks/bench_model_build.py --benchmark-disable
+
+leaves a schema-versioned ``BENCH_model_build.json`` behind (and
+likewise ``BENCH_runner_batch.json``), capturing the repo's perf
+trajectory without any change to how the benchmarks are invoked.
+The test currently executing is identified from pytest's standard
+``PYTEST_CURRENT_TEST`` environment variable, so this module needs no
+plugin hooks of its own.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, Optional, Tuple
+
+from repro.loadgen.snapshot import write_snapshot
+
+#: Benchmark module stem -> snapshot name (``BENCH_<name>.json``).
+#: ``bench_service_load`` is absent on purpose: it writes its own, much
+#: richer snapshot (the full load report) and a timings-only flush here
+#: would overwrite it.
+MODULE_SNAPSHOTS = {
+    "bench_model_build": "model_build",
+    "bench_runner_batch": "runner_batch",
+}
+
+#: snapshot name -> {test label: wall seconds}
+_TIMINGS: Dict[str, Dict[str, float]] = {}
+
+
+def current_test() -> Optional[Tuple[str, str]]:
+    """(snapshot name, test label) of the running test, if it is a bench.
+
+    ``PYTEST_CURRENT_TEST`` looks like
+    ``benchmarks/bench_model_build.py::test_x[param] (call)``.
+    """
+    raw = os.environ.get("PYTEST_CURRENT_TEST", "")
+    match = re.match(r"(?P<path>[^:]+)::(?P<test>.+?)(?: \(\w+\))?$", raw)
+    if not match:
+        return None
+    stem = os.path.splitext(os.path.basename(match.group("path")))[0]
+    name = MODULE_SNAPSHOTS.get(stem)
+    if name is None:
+        return None
+    return name, match.group("test")
+
+
+def record_timing(seconds: float) -> None:
+    """Attribute ``seconds`` to the currently running benchmark test."""
+    located = current_test()
+    if located is None:
+        return
+    name, label = located
+    _TIMINGS.setdefault(name, {})[label] = round(seconds, 4)
+
+
+def flush(context: Optional[Dict[str, object]] = None) -> list:
+    """Write one snapshot per benchmark module that ran; returns the paths."""
+    paths = []
+    for name, timings in sorted(_TIMINGS.items()):
+        data = {"timings_s": dict(sorted(timings.items()))}
+        if context:
+            data["context"] = dict(context)
+        paths.append(write_snapshot(name, data))
+    _TIMINGS.clear()
+    return paths

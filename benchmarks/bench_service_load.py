@@ -1,0 +1,60 @@
+"""Service-tier load benchmark: a real daemon under synthetic traffic.
+
+Boots a :class:`~repro.service.daemon.LayoutService` on an ephemeral
+port and drives it with the seeded workload from :mod:`repro.loadgen` —
+hundreds of mixed submissions (cold solves, attaches, a cached revisit
+wave, background floods) from concurrent submitters while SSE watchers
+stream events.  The full measurement report — admission latency
+percentiles, settle latency, throughput per dispatcher, queue depth over
+time, SSE delivery lag, shed rates, and the exact client/server counter
+reconciliation — is written to ``BENCH_service_load.json``.
+
+The run *fails* if the counters do not reconcile exactly: this benchmark
+doubles as the end-to-end regression test for the scheduler's lock-
+protected stats counters.
+
+Knobs: ``RFIC_LOAD_JOBS`` (total submissions, default 200) and
+``RFIC_LOAD_UNIQUE`` (distinct hashes, default 40) scale the workload up
+for manual runs; the ``rfic-layout loadtest`` CLI exposes the same
+harness without pytest.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _bench_utils import run_once
+
+from repro.loadgen import (
+    LoadTestConfig,
+    WorkloadSpec,
+    run_load_test,
+    write_snapshot,
+)
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def test_service_load(benchmark, tmp_path):
+    spec = WorkloadSpec(
+        jobs=_env_int("RFIC_LOAD_JOBS", 200),
+        unique_jobs=_env_int("RFIC_LOAD_UNIQUE", 40),
+        submitters=8,
+        watchers=24,
+        cached_wave=40,
+        seed=2016,
+    )
+    config = LoadTestConfig(concurrency=2, class_limits={"background": 4})
+    report = run_once(
+        benchmark, run_load_test, spec, data_dir=tmp_path / "svc", config=config
+    )
+    write_snapshot("service_load", report.to_snapshot_data())
+    reconciliation = report.reconcile()
+    assert report.ok, {k: v for k, v in reconciliation.items() if not v["ok"]}
+    assert not report.lost_jobs
+    assert not report.submit_errors

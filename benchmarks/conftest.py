@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from _bench_utils import bench_config, bench_variant
+import _snapshot
+from _bench_utils import bench_config, bench_time_limit, bench_variant
 
 from repro.core import PILPConfig
 
@@ -19,3 +20,12 @@ def pilp_config() -> PILPConfig:
 def variant() -> str:
     """Circuit variant (``reduced`` by default, ``full`` with RFIC_FULL_SIZE)."""
     return bench_variant()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the session's timings as ``BENCH_*.json`` snapshots."""
+    paths = _snapshot.flush(
+        context={"variant": bench_variant(), "time_limit_s": bench_time_limit()}
+    )
+    for path in paths:
+        print(f"\nwrote benchmark snapshot {path}")

@@ -346,6 +346,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     status.add_argument("--json", action="store_true", help="print the raw JSON document")
 
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help="drive a throwaway daemon with synthetic load and report "
+        "latency percentiles, throughput, and exact counter reconciliation",
+    )
+    loadtest.add_argument(
+        "--jobs", type=int, default=200, help="total submissions (default: 200)"
+    )
+    loadtest.add_argument(
+        "--unique", type=int, default=40,
+        help="distinct job hashes (cold solves) among them (default: 40)",
+    )
+    loadtest.add_argument(
+        "--submitters", type=int, default=8,
+        help="concurrent submitter threads (default: 8)",
+    )
+    loadtest.add_argument(
+        "--watchers", type=int, default=20,
+        help="concurrent SSE event watchers (default: 20)",
+    )
+    loadtest.add_argument(
+        "--cached-wave", type=int, default=0, metavar="N",
+        help="after the main wave settles, resubmit N guaranteed cache hits",
+    )
+    loadtest.add_argument(
+        "--concurrency", type=int, default=2,
+        help="daemon dispatcher threads (default: 2)",
+    )
+    loadtest.add_argument("--seed", type=int, default=0, help="workload seed")
+    loadtest.add_argument(
+        "--class-limits", default=None, metavar="CLASS=N[,CLASS=N]",
+        help="per-class pending caps, e.g. background=4 (default: none)",
+    )
+    loadtest.add_argument(
+        "--max-queue-depth", type=int, default=0,
+        help="global queue bound; 0 = unbounded (default)",
+    )
+    loadtest.add_argument(
+        "--data-dir", default=None,
+        help="daemon data directory (default: a throwaway temp dir)",
+    )
+    loadtest.add_argument(
+        "--snapshot", action="store_true",
+        help="write the full report to BENCH_service_load.json "
+        "(honours RFIC_BENCH_DIR)",
+    )
+    loadtest.add_argument("--json", action="store_true", help="print the raw report JSON")
+
     return parser
 
 
@@ -830,6 +878,85 @@ def _command_circuits(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_latency(summary: dict) -> str:
+    if not summary.get("count"):
+        return "no samples"
+    return (
+        f"p50 {summary['p50'] * 1000:.1f}ms  p95 {summary['p95'] * 1000:.1f}ms  "
+        f"p99 {summary['p99'] * 1000:.1f}ms  max {summary['max'] * 1000:.1f}ms "
+        f"({summary['count']} samples)"
+    )
+
+
+def _command_loadtest(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.loadgen import LoadTestConfig, WorkloadSpec, run_load_test
+    from repro.loadgen import write_snapshot
+
+    spec = WorkloadSpec(
+        jobs=args.jobs,
+        unique_jobs=args.unique,
+        submitters=args.submitters,
+        watchers=args.watchers,
+        cached_wave=args.cached_wave,
+        seed=args.seed,
+    )
+    limits = _parse_class_limits(
+        args.class_limits.split(",") if args.class_limits else None
+    )
+    config = LoadTestConfig(
+        concurrency=args.concurrency,
+        max_queue_depth=args.max_queue_depth,
+        class_limits=limits,
+    )
+    if args.data_dir is not None:
+        report = run_load_test(spec, data_dir=args.data_dir, config=config)
+    else:
+        with tempfile.TemporaryDirectory(prefix="rfic-loadtest-") as scratch:
+            report = run_load_test(
+                spec, data_dir=Path(scratch) / "service", config=config
+            )
+    data = report.to_snapshot_data()
+    if args.snapshot:
+        path = write_snapshot("service_load", data)
+        print(f"snapshot written to {path}", flush=True)
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    throughput = data["throughput"]
+    sse = data["sse"]
+    print(
+        f"load test: {report.submitted} submissions "
+        f"({spec.jobs} main + {spec.cached_wave} cached wave) in "
+        f"{report.wall_s:.1f}s — {spec.submitters} submitters, "
+        f"{spec.watchers} watchers, {config.concurrency} dispatchers"
+    )
+    print(f"  dispositions: {dict(sorted(report.dispositions.items()))}")
+    print(
+        f"  refused: {report.rejected_429} (shed rate "
+        f"{data['shed_rate']:.1%}), errors: {len(report.submit_errors)}"
+    )
+    print(f"  admission: {_format_latency(data['admission_latency_s'])}")
+    print(f"  settle:    {_format_latency(data['settle_latency_s'])}")
+    print(
+        f"  throughput: {throughput['settled_jobs_per_s']} settled/s "
+        f"({throughput['solved_per_dispatcher_per_s']} solved/s per dispatcher); "
+        f"peak queue depth {data['queue_depth']['peak']}"
+    )
+    print(
+        f"  sse: {sse['events']} events to {sse['watchers']} watchers, "
+        f"live lag {_format_latency(sse['live_lag_s'])}"
+    )
+    checks = data["reconciliation"]
+    bad = {name: check for name, check in checks.items() if not check["ok"]}
+    if bad:
+        print(f"  RECONCILIATION FAILED: {bad}")
+        return 1
+    print(f"  reconciliation: {len(checks)} exact checks OK, zero lost jobs")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``rfic-layout`` console script."""
     parser = build_parser()
@@ -843,6 +970,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _command_serve,
         "submit": _command_submit,
         "status": _command_status,
+        "loadtest": _command_loadtest,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,516 @@
+"""Boot a real daemon, drive a seeded workload, measure, reconcile.
+
+:func:`run_load_test` is the whole harness: it assembles a
+:class:`~repro.service.daemon.LayoutService` on an ephemeral port
+(inline execution — solves run in the dispatcher threads, so a tiny
+manual-flow workload finishes in CI seconds), starts the SSE watcher
+pool, fires the planned submissions from N concurrent submitter threads,
+samples queue depth throughout, waits for settlement, and reconciles the
+client-observed dispositions against the server's ``/stats`` counters.
+
+Reconciliation is *exact*, not approximate.  Each admission takes
+exactly one path, and each path bumps exactly one server counter:
+
+* ``queued``/``requeued`` dispositions become exactly one settlement —
+  a solve, a run-time cache serve, or a failure;
+* a ``cached`` disposition bumps ``served_from_cache`` at admission;
+* an ``attached`` disposition bumps ``attached``;
+* a 429 bumps ``admission.rejected`` or ``admission.shed``.
+
+So ``solved + served_from_cache + failures == queued + requeued +
+cached`` and ``attached == attached`` must hold to the unit.  Before the
+scheduler's counters moved under a lock these identities drifted under
+load — the load harness is the regression test for that fix.
+
+The submitter clients run with ``RetryPolicy(attempts=1)``: a 429 is a
+*measurement* here (the shed rate), not a transient to paper over.
+"""
+
+from __future__ import annotations
+
+import collections
+import queue as queue_module
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.loadgen.metrics import DepthSampler, summarize
+from repro.loadgen.workload import PlannedSubmission, WorkloadSpec
+from repro.service.client import RetryPolicy, ServiceClient, ServiceError
+from repro.service.client import ServiceUnavailableError
+from repro.service.daemon import LayoutService
+
+__all__ = ["LoadReport", "LoadTestConfig", "run_load_test"]
+
+PathLike = Union[str, Path]
+
+#: Dispositions under which the record exists server-side (watchable).
+_ADMITTED = ("queued", "requeued", "attached", "cached", "done")
+
+
+@dataclass(frozen=True)
+class LoadTestConfig:
+    """Daemon + harness knobs for one load run."""
+
+    concurrency: int = 2  #: dispatcher threads (inline execution)
+    job_timeout: Optional[float] = 60.0
+    fsync: bool = False  #: journal fsync off — measuring scheduling, not disks
+    max_queue_depth: int = 0  #: 0 = unbounded (no sheds unless set)
+    class_limits: Optional[dict] = None
+    background_shed_ratio: float = 0.5
+    poison_threshold: int = 3
+    sample_interval: float = 0.25  #: queue-depth sampling period
+    settle_timeout: float = 300.0  #: hard wall for the whole settle wait
+    submit_timeout: float = 30.0  #: per-request HTTP timeout for submitters
+    host: str = "127.0.0.1"
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured (see :meth:`to_snapshot_data`)."""
+
+    spec: WorkloadSpec
+    config: LoadTestConfig
+    wall_s: float
+    submit_wall_s: float
+    dispositions: Dict[str, int]
+    rejected_429: int
+    submit_errors: List[str]
+    admission_latencies_s: List[float] = field(default_factory=list)
+    settle_latencies_s: List[float] = field(default_factory=list)
+    depth_samples: List[Tuple[float, Dict[str, int]]] = field(default_factory=list)
+    sse_events: int = 0
+    sse_replayed: int = 0
+    sse_live_lags_s: List[float] = field(default_factory=list)
+    watchers_started: int = 0
+    watchers_stalled: int = 0
+    lost_jobs: List[str] = field(default_factory=list)
+    server_stats: Dict[str, object] = field(default_factory=dict)
+    jobs_listing: Dict[str, object] = field(default_factory=dict)
+
+    # -------------------------------------------------------------- #
+
+    @property
+    def submitted(self) -> int:
+        return sum(self.dispositions.values()) + self.rejected_429 + len(
+            self.submit_errors
+        )
+
+    def reconcile(self) -> Dict[str, Dict[str, object]]:
+        """The exact client-vs-server counter identities (see module doc)."""
+        stats = self.server_stats
+        admission = stats.get("admission", {})
+        tally = self.dispositions
+        checks = {
+            "attached": {
+                "client": tally.get("attached", 0),
+                "server": stats.get("attached"),
+            },
+            "settled": {
+                "client": tally.get("queued", 0)
+                + tally.get("requeued", 0)
+                + tally.get("cached", 0),
+                "server": (
+                    (stats.get("solved") or 0)
+                    + (stats.get("served_from_cache") or 0)
+                    + (stats.get("failures") or 0)
+                ),
+            },
+            "rejected": {
+                "client": self.rejected_429,
+                "server": (admission.get("rejected") or 0)
+                + (admission.get("shed") or 0),
+            },
+            "submitted": {
+                "client": self.submitted,
+                "server": self.spec.jobs + self.spec.cached_wave,
+            },
+            "lost_jobs": {"client": len(self.lost_jobs), "server": 0},
+            "submit_errors": {"client": len(self.submit_errors), "server": 0},
+        }
+        for check in checks.values():
+            check["ok"] = check["client"] == check["server"]
+        return checks
+
+    @property
+    def ok(self) -> bool:
+        return all(check["ok"] for check in self.reconcile().values())
+
+    def to_snapshot_data(self) -> Dict[str, object]:
+        """The ``data`` payload of ``BENCH_service_load.json``."""
+        stats = self.server_stats
+        solved = stats.get("solved") or 0
+        settled = solved + (stats.get("failures") or 0)
+        depth_timeline = [
+            [round(t, 3), sample.get("queued", 0) + sample.get("running", 0)]
+            for t, sample in self.depth_samples
+        ]
+        return {
+            "spec": self.spec.as_dict(),
+            "config": self.config.as_dict(),
+            "wall_s": round(self.wall_s, 3),
+            "submit_wall_s": round(self.submit_wall_s, 3),
+            "throughput": {
+                "submissions_per_s": round(
+                    self.submitted / self.submit_wall_s, 2
+                )
+                if self.submit_wall_s > 0
+                else None,
+                "settled_jobs_per_s": round(settled / self.wall_s, 2)
+                if self.wall_s > 0
+                else None,
+                "solved_per_dispatcher_per_s": round(
+                    solved / self.wall_s / max(1, self.config.concurrency), 3
+                )
+                if self.wall_s > 0
+                else None,
+            },
+            "admission_latency_s": summarize(self.admission_latencies_s),
+            "settle_latency_s": summarize(self.settle_latencies_s),
+            "sse": {
+                "watchers": self.watchers_started,
+                "watchers_stalled": self.watchers_stalled,
+                "events": self.sse_events,
+                "replayed_events": self.sse_replayed,
+                "live_lag_s": summarize(self.sse_live_lags_s),
+            },
+            "queue_depth": {
+                "samples": depth_timeline,
+                "peak": max((d for _, d in depth_timeline), default=0),
+            },
+            "dispositions": dict(self.dispositions),
+            "rejected_429": self.rejected_429,
+            "shed_rate": round(self.rejected_429 / self.spec.jobs, 4),
+            "submit_errors": list(self.submit_errors),
+            "lost_jobs": list(self.lost_jobs),
+            "server_stats": self.server_stats,
+            "jobs_listing": self.jobs_listing,
+            "reconciliation": self.reconcile(),
+            "ok": self.ok,
+        }
+
+
+# ------------------------------------------------------------------ #
+# worker threads
+# ------------------------------------------------------------------ #
+
+
+class _SharedTally:
+    """Submitter-side tallies, admitted-key registry, and watcher wakeups."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.dispositions: collections.Counter = collections.Counter()
+        self.rejected_429 = 0
+        self.errors: List[str] = []
+        self.admission_latencies: List[float] = []
+        self.admitted: set = set()
+        self.done_submitting = False
+
+    def record(self, disposition: str, key: str, latency: float) -> None:
+        with self.cond:
+            self.dispositions[disposition] += 1
+            self.admission_latencies.append(latency)
+            if disposition in _ADMITTED:
+                self.admitted.add(key)
+                self.cond.notify_all()
+
+    def record_429(self, latency: float) -> None:
+        with self.lock:
+            self.rejected_429 += 1
+            self.admission_latencies.append(latency)
+
+    def record_error(self, message: str) -> None:
+        with self.lock:
+            self.errors.append(message)
+
+    def finish(self) -> None:
+        with self.cond:
+            self.done_submitting = True
+            self.cond.notify_all()
+
+    def wait_for_key(self, key: str, timeout: float) -> bool:
+        """Block until ``key`` is admitted; False if submitting ended without it."""
+        deadline = time.monotonic() + timeout
+        with self.cond:
+            while key not in self.admitted:
+                if self.done_submitting or time.monotonic() >= deadline:
+                    return key in self.admitted
+                self.cond.wait(timeout=0.25)
+            return True
+
+
+def _submitter(
+    base_url: str,
+    plan_queue: "queue_module.SimpleQueue[Optional[PlannedSubmission]]",
+    tally: _SharedTally,
+    timeout: float,
+) -> None:
+    client = ServiceClient(
+        base_url, timeout=timeout, retry=RetryPolicy(attempts=1), retry_seed=0
+    )
+    while True:
+        item = plan_queue.get()
+        if item is None:  # sentinel: plan exhausted
+            return
+        for attempt in range(1, 4):
+            t0 = time.perf_counter()
+            try:
+                response = client.submit_document(
+                    item.document, priority=item.priority, client=item.client
+                )
+            except ServiceUnavailableError as exc:
+                if not exc.network:
+                    # A real admission refusal (429): a *measurement* —
+                    # the shed rate — so never retried.
+                    tally.record_429(time.perf_counter() - t0)
+                    break
+                # A dropped connection under load is transient and the
+                # submission is idempotent; retry rather than polluting
+                # the 429 tally with socket noise.
+                if attempt >= 3:
+                    tally.record_error(f"job {item.key[:12]}: {exc}")
+                    break
+                time.sleep(0.05 * attempt)
+            except ServiceError as exc:
+                tally.record_error(f"job {item.key[:12]}: {exc}")
+                break
+            else:
+                latency = time.perf_counter() - t0
+                disposition = str(response.get("disposition", "unknown"))
+                tally.record(
+                    disposition, str(response.get("key", item.key)), latency
+                )
+                break
+
+
+class _Watcher(threading.Thread):
+    """One SSE stream: waits for its key to exist, then consumes events.
+
+    Events published after the stream connected are *live* — their bus
+    timestamp postdates the connect time, so ``recv - ts`` is genuine
+    delivery lag.  History replayed on connect is counted separately
+    (its lag measures how late the watcher connected, not the bus).
+    """
+
+    def __init__(
+        self, base_url: str, key: str, tally: _SharedTally, timeout: float
+    ) -> None:
+        super().__init__(name=f"loadgen-watch-{key[:8]}", daemon=True)
+        self.base_url = base_url
+        self.key = key
+        self.tally = tally
+        self.timeout = timeout
+        self.events = 0
+        self.replayed = 0
+        self.live_lags: List[float] = []
+        self.started_stream = False
+
+    def run(self) -> None:
+        if not self.tally.wait_for_key(self.key, timeout=self.timeout):
+            return
+        client = ServiceClient(self.base_url, timeout=self.timeout, retry_seed=0)
+        connected = time.time()
+        self.started_stream = True
+        try:
+            for event in client.iter_events(self.key, timeout=self.timeout):
+                now = time.time()
+                self.events += 1
+                ts = float(event.get("ts") or 0.0)
+                if ts >= connected:
+                    self.live_lags.append(max(0.0, now - ts))
+                else:
+                    self.replayed += 1
+        except ServiceError:
+            # Stream cut short (daemon shutting down at the end of the
+            # run); the watcher's partial counts still stand.
+            pass
+
+
+# ------------------------------------------------------------------ #
+# the harness
+# ------------------------------------------------------------------ #
+
+
+def run_load_test(
+    spec: WorkloadSpec,
+    data_dir: PathLike,
+    cache_dir: Optional[PathLike] = None,
+    config: Optional[LoadTestConfig] = None,
+) -> LoadReport:
+    """Run one full load test (see module docstring); returns the report."""
+    config = config or LoadTestConfig()
+    plan = spec.build()
+    service = LayoutService(
+        data_dir=data_dir,
+        cache_dir=cache_dir,
+        concurrency=config.concurrency,
+        inline=True,
+        job_timeout=config.job_timeout,
+        fsync=config.fsync,
+        max_queue_depth=config.max_queue_depth,
+        class_limits=config.class_limits,
+        background_shed_ratio=config.background_shed_ratio,
+        poison_threshold=config.poison_threshold,
+    )
+    service.start()
+    service.bind(host=config.host, port=0)
+    http_thread = threading.Thread(
+        target=service.serve_forever, name="loadgen-http", daemon=True
+    )
+    http_thread.start()
+    base_url = f"http://{config.host}:{service.port}"
+
+    tally = _SharedTally()
+    sampler = DepthSampler(service.queue.counts, interval=config.sample_interval)
+
+    # Watchers are assigned round-robin over the distinct hashes, in plan
+    # order, so the watcher population is as deterministic as the plan.
+    unique_keys: List[str] = []
+    seen: set = set()
+    for item in plan:
+        if item.key not in seen:
+            seen.add(item.key)
+            unique_keys.append(item.key)
+    watchers = [
+        _Watcher(
+            base_url,
+            unique_keys[i % len(unique_keys)],
+            tally,
+            timeout=config.settle_timeout,
+        )
+        for i in range(spec.watchers)
+    ]
+
+    plan_queue: "queue_module.SimpleQueue[Optional[PlannedSubmission]]" = (
+        queue_module.SimpleQueue()
+    )
+    for item in plan:
+        plan_queue.put(item)
+    for _ in range(spec.submitters):
+        plan_queue.put(None)
+    submitters = [
+        threading.Thread(
+            target=_submitter,
+            args=(base_url, plan_queue, tally, config.submit_timeout),
+            name=f"loadgen-submit-{i}",
+            daemon=True,
+        )
+        for i in range(spec.submitters)
+    ]
+
+    try:
+        sampler.start()
+        for watcher in watchers:
+            watcher.start()
+        t_start = time.monotonic()
+        for thread in submitters:
+            thread.start()
+        for thread in submitters:
+            thread.join()
+        submit_wall = time.monotonic() - t_start
+        tally.finish()
+
+        # Settlement: every admitted hash must reach a terminal state.
+        deadline = time.monotonic() + config.settle_timeout
+        lost: List[str] = []
+        while time.monotonic() < deadline:
+            counts = service.queue.counts()
+            if counts["queued"] + counts["running"] == 0:
+                break
+            time.sleep(0.05)
+        for key in sorted(tally.admitted):
+            record = service.queue.get(key)
+            if record is None or not record.terminal:
+                lost.append(key[:12])
+
+        if spec.cached_wave > 0 and not lost:
+            # Second wave: revisit settled hashes — every submission must
+            # come back ``cached`` (or ``requeued`` if its cache entry
+            # vanished, which reconciliation would surface).
+            documents = {item.key: item.document for item in plan}
+            wave_queue: "queue_module.SimpleQueue[Optional[PlannedSubmission]]" = (
+                queue_module.SimpleQueue()
+            )
+            for i in range(spec.cached_wave):
+                key = unique_keys[i % len(unique_keys)]
+                wave_queue.put(
+                    PlannedSubmission(
+                        index=len(plan) + i,
+                        key=key,
+                        document=documents[key],
+                        priority="batch",
+                        client=f"load-client-{i % spec.clients}",
+                        kind="revisit",
+                    )
+                )
+            for _ in range(spec.submitters):
+                wave_queue.put(None)
+            wave_threads = [
+                threading.Thread(
+                    target=_submitter,
+                    args=(base_url, wave_queue, tally, config.submit_timeout),
+                    name=f"loadgen-wave-{i}",
+                    daemon=True,
+                )
+                for i in range(spec.submitters)
+            ]
+            for thread in wave_threads:
+                thread.start()
+            for thread in wave_threads:
+                thread.join()
+        wall = time.monotonic() - t_start
+
+        settle_latencies = []
+        for key in unique_keys:
+            record = service.queue.get(key)
+            if record is not None and record.terminal and record.settled_unix:
+                settle_latencies.append(
+                    max(0.0, record.settled_unix - record.submitted_unix)
+                )
+
+        for watcher in watchers:
+            watcher.join(timeout=10.0)
+
+        probe = ServiceClient(base_url, timeout=config.submit_timeout, retry_seed=0)
+        server_stats = probe.stats()
+        # Exercise the bounded /jobs listing the way a dashboard would.
+        listing = probe.jobs_page(state="done", limit=25)
+        jobs_listing = {
+            "state": "done",
+            "limit": 25,
+            "returned": len(listing.get("jobs", [])),
+            "total": listing.get("total"),
+        }
+    finally:
+        depth_samples = sampler.stop()
+        service.shutdown()
+        http_thread.join(timeout=10.0)
+
+    report = LoadReport(
+        spec=spec,
+        config=config,
+        wall_s=wall,
+        submit_wall_s=submit_wall,
+        dispositions=dict(tally.dispositions),
+        rejected_429=tally.rejected_429,
+        submit_errors=list(tally.errors),
+        admission_latencies_s=list(tally.admission_latencies),
+        settle_latencies_s=settle_latencies,
+        depth_samples=depth_samples,
+        sse_events=sum(w.events for w in watchers),
+        sse_replayed=sum(w.replayed for w in watchers),
+        sse_live_lags_s=[lag for w in watchers for lag in w.live_lags],
+        watchers_started=sum(1 for w in watchers if w.started_stream),
+        watchers_stalled=sum(1 for w in watchers if w.is_alive()),
+        lost_jobs=lost,
+        server_stats=server_stats,
+        jobs_listing=jobs_listing,
+    )
+    return report

@@ -1,0 +1,117 @@
+"""Measurement primitives of the load harness.
+
+Percentile math is the linear-interpolation ("exclusive of none") variant
+used by numpy's default — exact on the known-input tests and independent
+of any third-party package.  :class:`DepthSampler` is a daemon thread that
+polls a callable (the queue's per-state counts) on a fixed interval and
+keeps the timeline, so a load report can show queue depth over time
+without instrumenting the scheduler itself.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["DepthSampler", "percentile", "summarize"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) with linear interpolation.
+
+    Matches ``numpy.percentile``'s default method: the sorted sample is
+    treated as fractional ranks ``0 .. n-1`` and ``q`` maps linearly onto
+    them.  Raises ``ValueError`` on an empty sample or out-of-range ``q``.
+    """
+    if not values:
+        raise ValueError("percentile() of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100]; got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return float(ordered[lower] + (ordered[upper] - ordered[lower]) * fraction)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, object]:
+    """Count / mean / min / max / p50 / p95 / p99 of a latency sample.
+
+    An empty sample summarises to ``{"count": 0}`` with every statistic
+    ``None`` — snapshots stay schema-stable even when a path saw no
+    traffic.
+    """
+    if not values:
+        return {
+            "count": 0,
+            "mean": None,
+            "min": None,
+            "max": None,
+            "p50": None,
+            "p95": None,
+            "p99": None,
+        }
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+        "p50": percentile(values, 50.0),
+        "p95": percentile(values, 95.0),
+        "p99": percentile(values, 99.0),
+    }
+
+
+class DepthSampler:
+    """Poll ``probe()`` every ``interval`` seconds on a daemon thread.
+
+    Samples are ``(t_offset_s, probe_result)`` tuples with ``t_offset_s``
+    relative to :meth:`start`.  The sampler takes one final sample on
+    :meth:`stop` so the timeline always covers the full run.
+    """
+
+    def __init__(
+        self, probe: Callable[[], Dict[str, int]], interval: float = 0.25
+    ) -> None:
+        self.probe = probe
+        self.interval = max(0.01, interval)
+        self.samples: List[Tuple[float, Dict[str, int]]] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._t0 = 0.0
+
+    def _sample_once(self) -> None:
+        try:
+            value = self.probe()
+        except Exception:  # noqa: BLE001 - a dying probe must not kill the run
+            return
+        self.samples.append((time.monotonic() - self._t0, value))
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._sample_once()
+
+    def start(self) -> "DepthSampler":
+        self._t0 = time.monotonic()
+        self._sample_once()
+        self._thread = threading.Thread(
+            target=self._run, name="loadgen-depth-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> List[Tuple[float, Dict[str, int]]]:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._sample_once()
+        return self.samples
+
+    def peak(self, field: str) -> int:
+        """The maximum observed value of one probed field (0 if never seen)."""
+        return max((sample.get(field, 0) for _, sample in self.samples), default=0)

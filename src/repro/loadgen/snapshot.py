@@ -1,0 +1,132 @@
+"""Schema-versioned benchmark snapshots (the ``BENCH_*.json`` files).
+
+Every benchmark in this repo — the service load harness, the model-build
+microbenchmarks, the batch-runner benchmarks — persists its results
+through this module, so the repo accumulates a *benchmark trajectory*:
+stable, diffable JSON files committed alongside the code they measure.
+A perf claim in a PR description is checkable by diffing the snapshot it
+committed against the previous one.
+
+Envelope (``schema_version`` 1)::
+
+    {
+      "schema": "rfic-bench",
+      "schema_version": 1,
+      "name": "service_load",
+      "created_unix": 1721998800.5,
+      "python": "3.11.9",
+      "platform": "Linux-...",
+      "data": { ... benchmark-specific payload ... }
+    }
+
+Only the envelope is versioned here; each benchmark owns its ``data``
+layout.  Files land in the repository root by default (``BENCH_<name>.json``)
+so they are committed and diffed like any other artifact; set
+:data:`BENCH_DIR_ENV` to redirect them (CI uploads them as artifacts from
+a scratch directory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BENCH_DIR_ENV",
+    "SNAPSHOT_SCHEMA",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "load_snapshot",
+    "snapshot_path",
+    "write_snapshot",
+]
+
+SNAPSHOT_SCHEMA = "rfic-bench"
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Environment override for where ``BENCH_*.json`` files are written.
+BENCH_DIR_ENV = "RFIC_BENCH_DIR"
+
+PathLike = Union[str, Path]
+
+
+def bench_dir(explicit: Optional[PathLike] = None) -> Path:
+    """Resolve the snapshot directory: explicit arg > env > cwd."""
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(BENCH_DIR_ENV)
+    return Path(env) if env else Path.cwd()
+
+
+def snapshot_path(name: str, directory: Optional[PathLike] = None) -> Path:
+    """Where the snapshot ``name`` lives: ``<dir>/BENCH_<name>.json``."""
+    if not name or any(ch in name for ch in "/\\"):
+        raise ConfigurationError(f"bad snapshot name {name!r}")
+    return bench_dir(directory) / f"BENCH_{name}.json"
+
+
+def write_snapshot(
+    name: str, data: Dict[str, object], directory: Optional[PathLike] = None
+) -> Path:
+    """Write ``data`` under the versioned envelope; returns the path.
+
+    The write is atomic (staging file + ``os.replace``) so a concurrent
+    reader — or a benchmark run killed mid-write — never sees a torn
+    snapshot.
+    """
+    envelope = {
+        "schema": SNAPSHOT_SCHEMA,
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "name": name,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "data": data,
+    }
+    target = snapshot_path(name, directory)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    staging = target.with_name(target.name + f".{os.getpid()}.tmp")
+    staging.write_text(
+        json.dumps(envelope, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    os.replace(staging, target)
+    return target
+
+
+def load_snapshot(
+    name_or_path: PathLike, directory: Optional[PathLike] = None
+) -> Dict[str, object]:
+    """Load and validate a snapshot; returns the full envelope.
+
+    Accepts either a bare snapshot name (resolved like
+    :func:`snapshot_path`) or a path to the JSON file itself.  Raises
+    :class:`ConfigurationError` when the file is not an
+    ``rfic-bench`` snapshot or its ``schema_version`` is newer than this
+    code understands.
+    """
+    candidate = Path(name_or_path)
+    path = (
+        candidate
+        if candidate.suffix == ".json" or candidate.exists()
+        else snapshot_path(str(name_or_path), directory)
+    )
+    try:
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigurationError(f"no benchmark snapshot at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"corrupt benchmark snapshot {path}: {exc}") from None
+    if not isinstance(envelope, dict) or envelope.get("schema") != SNAPSHOT_SCHEMA:
+        raise ConfigurationError(f"{path} is not an {SNAPSHOT_SCHEMA!r} snapshot")
+    version = envelope.get("schema_version")
+    if not isinstance(version, int) or version > SNAPSHOT_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{path} has schema_version {version!r}; this code understands "
+            f"<= {SNAPSHOT_SCHEMA_VERSION}"
+        )
+    return envelope

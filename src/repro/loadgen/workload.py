@@ -1,0 +1,174 @@
+"""Deterministic, seeded workload plans for the load harness.
+
+A :class:`WorkloadSpec` describes the *shape* of a load run — how many
+submissions, how many of them are distinct cold solves versus revisits of
+an already-submitted hash, the priority-class mix, how many logical
+clients the traffic claims to come from — and :meth:`WorkloadSpec.build`
+expands it into a concrete, fully deterministic list of
+:class:`PlannedSubmission`.  Same spec + same seed → byte-identical plan,
+which is what lets the smoke tier assert *exact* counter reconciliation
+instead of tolerances.
+
+Jobs are tiny manual-flow solves (~0.25 s each): the cheapest work the
+service can actually run end-to-end, so a multi-hundred-job run fits in
+CI seconds.  Distinct cold jobs are minted by salting the job's ``tag``
+(``tag`` is part of the PR 3 content hash); revisits resubmit an earlier
+tag and therefore land as *attached* (still in flight) or *cached*
+(already settled) depending entirely on runtime timing — the plan does
+not pretend to know which.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict, List
+
+from repro.circuit import LayoutArea, MicrostripNet, Netlist, Terminal
+from repro.circuit import make_rf_pad, make_transistor
+from repro.errors import ConfigurationError
+from repro.runner.jobs import LayoutJob
+from repro.service.documents import PRIORITY_CLASSES, job_to_document
+from repro.tech import CMOS90
+
+__all__ = ["PlannedSubmission", "WorkloadSpec", "tiny_workload_netlist"]
+
+
+def tiny_workload_netlist() -> Netlist:
+    """The smallest real circuit: two pads, one transistor, two nets.
+
+    Mirrors the test-suite's tiny netlist so a manual-flow solve costs a
+    fraction of a second; the workload salts the job ``tag``, never the
+    netlist, so every planned job shares this one object.
+    """
+    devices = [make_rf_pad("P_IN"), make_rf_pad("P_OUT"), make_transistor("M1")]
+    nets = [
+        MicrostripNet(
+            "ms_in", Terminal("P_IN", "SIG"), Terminal("M1", "G"), target_length=250.0
+        ),
+        MicrostripNet(
+            "ms_out", Terminal("M1", "D"), Terminal("P_OUT", "SIG"), target_length=300.0
+        ),
+    ]
+    return Netlist(
+        "loadgen-tiny",
+        devices,
+        nets,
+        LayoutArea(400.0, 300.0),
+        technology=CMOS90,
+        operating_frequency_ghz=94.0,
+    )
+
+
+@dataclass(frozen=True)
+class PlannedSubmission:
+    """One submission the harness will POST, in plan order."""
+
+    index: int
+    key: str  #: the job's content hash (known ahead of time)
+    document: Dict[str, object]
+    priority: str
+    client: str
+    #: ``"first"`` — the plan's first occurrence of this hash (a cold
+    #: solve, unless an earlier revisit raced ahead of it at runtime);
+    #: ``"revisit"`` — a repeat that should attach or hit the cache.
+    kind: str
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a synthetic load run (see module docstring).
+
+    ``unique_jobs`` distinct hashes are spread over ``jobs`` submissions;
+    the surplus ``jobs - unique_jobs`` submissions revisit earlier hashes
+    and exercise the attach/cache paths.  Priorities: each submission is
+    ``interactive`` with probability ``interactive_fraction``,
+    ``background`` with ``background_fraction``, else ``batch``.
+    """
+
+    jobs: int = 200
+    unique_jobs: int = 40
+    submitters: int = 8
+    watchers: int = 20
+    interactive_fraction: float = 0.2
+    background_fraction: float = 0.3
+    clients: int = 4
+    seed: int = 0
+    tag_prefix: str = "loadgen"
+    #: Extra revisits submitted *after* the main wave settles — each one
+    #: is a guaranteed cache hit (``cached`` disposition), because during
+    #: the main wave revisits mostly attach (submission outruns solving).
+    cached_wave: int = 0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError("a workload needs at least one job")
+        if self.cached_wave < 0:
+            raise ConfigurationError("cached_wave must be >= 0")
+        if not 1 <= self.unique_jobs <= self.jobs:
+            raise ConfigurationError(
+                f"unique_jobs must be in [1, jobs]; got {self.unique_jobs} "
+                f"with jobs={self.jobs}"
+            )
+        if self.submitters < 1 or self.clients < 1:
+            raise ConfigurationError("submitters and clients must be >= 1")
+        if self.watchers < 0:
+            raise ConfigurationError("watchers must be >= 0")
+        fractions = self.interactive_fraction + self.background_fraction
+        if (
+            min(self.interactive_fraction, self.background_fraction) < 0
+            or fractions > 1.0
+        ):
+            raise ConfigurationError(
+                "interactive_fraction and background_fraction must be "
+                "non-negative and sum to <= 1"
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def build(self) -> List[PlannedSubmission]:
+        """Expand into the concrete submission plan (deterministic)."""
+        rng = random.Random(self.seed)
+        netlist = tiny_workload_netlist()
+        pool: List[tuple] = []  # (key, document) per unique hash
+        for i in range(self.unique_jobs):
+            job = LayoutJob(
+                flow="manual",
+                netlist=netlist,
+                label=f"{self.tag_prefix}-{self.seed}-{i}",
+                tag=f"{self.tag_prefix}/{self.seed}/{i}",
+            )
+            pool.append((job.content_hash, job_to_document(job)))
+        # Every unique hash appears at least once; the surplus revisits a
+        # uniformly random earlier mint.  Shuffling the whole list means a
+        # "revisit" can land before its "first" — kinds are therefore
+        # assigned *after* the shuffle, from actual plan order.
+        picks = list(range(self.unique_jobs))
+        picks += [rng.randrange(self.unique_jobs) for _ in range(self.jobs - self.unique_jobs)]
+        rng.shuffle(picks)
+        interactive, background = self.interactive_fraction, self.background_fraction
+        seen: set = set()
+        plan: List[PlannedSubmission] = []
+        for index, pick in enumerate(picks):
+            key, document = pool[pick]
+            roll = rng.random()
+            if roll < interactive:
+                priority = "interactive"
+            elif roll < interactive + background:
+                priority = "background"
+            else:
+                priority = "batch"
+            assert priority in PRIORITY_CLASSES
+            plan.append(
+                PlannedSubmission(
+                    index=index,
+                    key=key,
+                    document=document,
+                    priority=priority,
+                    client=f"load-client-{rng.randrange(self.clients)}",
+                    kind="revisit" if key in seen else "first",
+                )
+            )
+            seen.add(key)
+        return plan

@@ -31,6 +31,7 @@ import json
 import random
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence
@@ -308,8 +309,28 @@ class ServiceClient:
     def status(self, key: str) -> Dict[str, object]:
         return self._json(f"/jobs/{key}")
 
-    def jobs(self) -> List[Dict[str, object]]:
-        return self._json("/jobs")["jobs"]
+    def jobs_page(
+        self, state: Optional[str] = None, limit: Optional[int] = None
+    ) -> Dict[str, object]:
+        """One ``GET /jobs`` page: ``{"jobs": [...], "total": n, ...}``.
+
+        ``total`` counts every matching record, so ``total > len(jobs)``
+        means the listing was truncated to the newest ``limit`` records.
+        """
+        params = {}
+        if state is not None:
+            params["state"] = state
+        if limit is not None:
+            params["limit"] = str(limit)
+        path = "/jobs"
+        if params:
+            path += "?" + urllib.parse.urlencode(params)
+        return self._json(path)
+
+    def jobs(
+        self, state: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[Dict[str, object]]:
+        return self.jobs_page(state, limit)["jobs"]
 
     def stats(self) -> Dict[str, object]:
         return self._json("/stats")

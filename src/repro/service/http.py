@@ -9,7 +9,12 @@ Endpoints
     feed admission.  Response: the submitted record(s) with their
     dispositions; ``202`` when new work was queued, ``200`` otherwise.
 ``GET /jobs``
-    All known records (journal order).
+    Known records (journal order).  ``?state=<state>`` filters by job
+    state; ``?limit=<n>`` bounds the response to the *newest* n matches
+    (default 500 — after a long load run the full record list is
+    unbounded; ``limit=0`` asks for everything).  The response carries
+    ``total`` (matching records before the bound) so a truncated listing
+    is detectable.
 ``GET /jobs/{hash}``
     One record: state, timings, metrics summary, error.
 ``GET /jobs/{hash}/layout.json`` / ``GET /jobs/{hash}/layout.svg``
@@ -70,6 +75,11 @@ _SSE_HEARTBEAT = 5.0
 #: Event kinds that end an SSE stream: per-job terminals plus the drain
 #: broadcast.
 _STREAM_END_KINDS = TERMINAL_EVENT_KINDS + ("shutdown",)
+
+#: Records returned by ``GET /jobs`` when the client gives no ``limit``.
+#: The journal is append-only, so after a long load run the unbounded
+#: listing would serialize every record ever settled.
+DEFAULT_JOBS_LIMIT = 500
 
 
 class LayoutHTTPServer(ThreadingHTTPServer):
@@ -148,9 +158,7 @@ class _Handler(BaseHTTPRequestHandler):
                     dict(health, ready=ready), status=200 if ready else 503
                 )
             elif path == "/jobs":
-                self._send_json(
-                    {"jobs": [r.status_dict() for r in self.scheduler.queue.records()]}
-                )
+                self._get_jobs(query)
             elif path.startswith("/jobs/"):
                 self._get_job(path[len("/jobs/") :], query)
             else:
@@ -181,6 +189,31 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # handlers
     # ------------------------------------------------------------------ #
+
+    def _get_jobs(self, query: str) -> None:
+        params = urllib.parse.parse_qs(query)
+        state = params.get("state", [None])[0]
+        raw_limit = params.get("limit", [None])[0]
+        limit = DEFAULT_JOBS_LIMIT
+        if raw_limit is not None:
+            try:
+                limit = int(raw_limit)
+            except ValueError:
+                self._send_error_json(400, f"bad limit: {raw_limit!r}")
+                return
+        try:
+            records, total = self.scheduler.queue.select(state=state, limit=limit)
+        except ConfigurationError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(
+            {
+                "jobs": [r.status_dict() for r in records],
+                "total": total,
+                "state": state,
+                "limit": limit,
+            }
+        )
 
     def _post_jobs(self) -> None:
         deadline = self.headers.get("X-Deadline-S")

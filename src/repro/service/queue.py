@@ -164,6 +164,10 @@ class JobQueue:
         #: Keys currently in state "queued" — the dispatchers poll this, so
         #: it must stay O(pending), not O(all records ever submitted).
         self._pending: Dict[str, JobRecord] = {}
+        #: Records per state, maintained on every transition.  Admission
+        #: probes and /readyz consult these on every request, so they must
+        #: stay O(1), not a scan of every record ever submitted.
+        self._counts: Dict[str, int] = {state: 0 for state in JOB_STATES}
         self._seq = 0
         self._dropped_lines = 0
         self._write_errors = 0
@@ -263,6 +267,11 @@ class JobQueue:
             for key, record in self._records.items()
             if record.state == "queued"
         }
+        # Replay applied raw journal ops; rebuild the per-state tallies once
+        # from the final records (the live paths maintain them incrementally).
+        self._counts = {state: 0 for state in JOB_STATES}
+        for record in self._records.values():
+            self._counts[record.state] += 1
 
     def _apply(self, entry: Dict[str, object]) -> None:
         op = entry.get("op")
@@ -357,12 +366,18 @@ class JobQueue:
         job is already queued/running — the submission joins it),
         ``"done"`` (already settled successfully), ``"requeued"`` (an
         earlier attempt failed; this submission retries it).
+
+        A ``requeued`` record inherits the failed attempt's ``attempts``
+        count: the poison-quarantine budget is *per content hash*, and a
+        job that reliably kills its workers must not win a fresh budget
+        simply by being resubmitted.
         """
         priority = validate_priority(priority)
         job = job_from_document(document)  # validates; computes the hash
         key = job.content_hash
         with self._lock:
             existing = self._records.get(key)
+            attempts = 0
             if existing is not None:
                 if existing.active:
                     existing.attach_count += 1
@@ -371,6 +386,8 @@ class JobQueue:
                 if existing.state == "done":
                     return existing, "done"
                 disposition = "requeued"
+                attempts = existing.attempts
+                self._counts[existing.state] -= 1
             else:
                 disposition = "queued"
             record = JobRecord(
@@ -382,10 +399,12 @@ class JobQueue:
                 state="queued",
                 seq=self._seq,
                 submitted_unix=time.time(),
+                attempts=attempts,
             )
             self._seq += 1
             self._records[key] = record
             self._pending[key] = record
+            self._counts["queued"] += 1
             self._append({"op": "submit", "record": record.to_dict()})
             return record, disposition
 
@@ -403,6 +422,8 @@ class JobQueue:
             record = self._records[key]
             if record.state == "queued":
                 return record
+            self._counts[record.state] -= 1
+            self._counts["queued"] += 1
             record.state = "queued"
             record.error = None
             record.summary = None
@@ -419,6 +440,8 @@ class JobQueue:
     def mark_running(self, key: str) -> None:
         with self._lock:
             record = self._records[key]
+            self._counts[record.state] -= 1
+            self._counts["running"] += 1
             record.state = "running"
             record.started_unix = time.time()
             record.attempts += 1
@@ -440,6 +463,8 @@ class JobQueue:
             record = self._records.get(key)
             if record is None or record.terminal:
                 return False
+            self._counts[record.state] -= 1
+            self._counts[state] += 1
             record.state = state
             record.settled_unix = time.time()
             record.summary = summary
@@ -495,16 +520,46 @@ class JobQueue:
             return sorted(self._pending.values(), key=lambda record: record.seq)
 
     def counts(self) -> Dict[str, int]:
-        """Number of records per state (all states present, zeros kept)."""
+        """Number of records per state (all states present, zeros kept).
+
+        O(states), not O(records): the tallies are maintained on every
+        transition, so admission probes and ``/readyz`` stay cheap no
+        matter how many settled records the journal has accumulated.
+        """
         with self._lock:
-            counts = {state: 0 for state in JOB_STATES}
-            for record in self._records.values():
-                counts[record.state] = counts.get(record.state, 0) + 1
-            return counts
+            return dict(self._counts)
 
     def depth(self) -> int:
-        """Jobs waiting for a dispatcher."""
-        return self.counts()["queued"]
+        """Jobs waiting for a dispatcher (O(1))."""
+        with self._lock:
+            return self._counts["queued"]
+
+    def select(
+        self, state: Optional[str] = None, limit: Optional[int] = None
+    ) -> Tuple[List[JobRecord], int]:
+        """Records filtered by state, bounded to the *newest* ``limit``.
+
+        Returns ``(records, total)`` where ``total`` counts every match
+        and ``records`` holds at most ``limit`` of them (the highest-seq
+        matches, in journal order) — what a bounded ``GET /jobs`` serves
+        after a long run has accumulated tens of thousands of settled
+        records.  ``limit=None`` or ``limit<=0`` means unbounded.
+        """
+        if state is not None and state not in JOB_STATES:
+            raise ConfigurationError(
+                f"unknown job state {state!r}; available: {JOB_STATES}"
+            )
+        with self._lock:
+            if state is None:
+                matches = list(self._records.values())
+                total = len(matches)
+            else:
+                matches = [r for r in self._records.values() if r.state == state]
+                total = len(matches)
+            matches.sort(key=lambda record: record.seq)
+            if limit is not None and limit > 0 and total > limit:
+                matches = matches[-limit:]
+            return matches, total
 
     def pending_counts(self) -> Dict[str, int]:
         """Queued jobs per priority class (admission-control input)."""

@@ -132,7 +132,20 @@ class EventBus:
         self._lock = threading.Lock()
         self._seq = 0
         self._history: Dict[str, List[Dict[str, object]]] = {}
-        self._subscribers: List[Subscription] = []
+        #: Subscriptions indexed by job key, so publishing an event only
+        #: walks that job's watchers — with thousands of SSE streams open,
+        #: a flat subscriber list would serialize every dispatcher behind
+        #: O(all subscribers) work per event.
+        self._by_key: Dict[str, List[Subscription]] = {}
+        #: Firehose subscriptions (``key=None``): they see every event.
+        self._firehose: List[Subscription] = []
+
+    @staticmethod
+    def _deliver(subscription: Subscription, event: Dict[str, object]) -> None:
+        try:
+            subscription.mailbox.put_nowait(event)
+        except queue_module.Full:  # slow consumer: drop, don't block
+            pass
 
     def publish(
         self,
@@ -160,12 +173,10 @@ class EventBus:
             del history[:-_HISTORY_LIMIT]
             if len(self._history) > _HISTORY_KEYS:
                 self._evict_settled_histories()
-            for subscription in self._subscribers:
-                if subscription.key is None or subscription.key == key:
-                    try:
-                        subscription.mailbox.put_nowait(event)
-                    except queue_module.Full:  # slow consumer: drop, don't block
-                        pass
+            for subscription in self._by_key.get(key, ()):
+                self._deliver(subscription, event)
+            for subscription in self._firehose:
+                self._deliver(subscription, event)
             return event
 
     def subscribe(
@@ -190,7 +201,10 @@ class EventBus:
                 for event in self._history.get(key, []):
                     if int(event["seq"]) > after:
                         subscription.mailbox.put_nowait(event)
-            self._subscribers.append(subscription)
+            if key is None:
+                self._firehose.append(subscription)
+            else:
+                self._by_key.setdefault(key, []).append(subscription)
         return subscription
 
     def broadcast_shutdown(self, detail: str = "service draining") -> None:
@@ -212,18 +226,29 @@ class EventBus:
                 "detail": detail,
                 "runtime": 0.0,
             }
-            for subscription in self._subscribers:
-                try:
-                    subscription.mailbox.put_nowait(event)
-                except queue_module.Full:
-                    pass
+            for subscription in self._firehose:
+                self._deliver(subscription, event)
+            for watchers in self._by_key.values():
+                for subscription in watchers:
+                    self._deliver(subscription, event)
 
     def unsubscribe(self, subscription: Subscription) -> None:
         with self._lock:
+            if subscription.key is None:
+                try:
+                    self._firehose.remove(subscription)
+                except ValueError:
+                    pass
+                return
+            watchers = self._by_key.get(subscription.key)
+            if watchers is None:
+                return
             try:
-                self._subscribers.remove(subscription)
+                watchers.remove(subscription)
             except ValueError:
                 pass
+            if not watchers:  # don't leak empty buckets for settled jobs
+                del self._by_key[subscription.key]
 
     def _evict_settled_histories(self) -> None:
         """Drop the oldest settled jobs' histories (caller holds the lock).
@@ -284,6 +309,13 @@ class LayoutScheduler:
         self._threads: List[threading.Thread] = []
         self._dispatch_seq = 0
         self._last_served: Dict[str, int] = {}
+        #: Guards the stats counters and the runtime EMA below.  They are
+        #: mutated from every dispatcher thread *and* from HTTP admission
+        #: threads; bare ``+= 1`` read-modify-writes would silently drop
+        #: increments under load and make ``/stats`` drift.  Always the
+        #: innermost lock: never take ``self._lock`` or the queue lock
+        #: while holding it.
+        self._counters_lock = threading.Lock()
         self._solved = 0
         self._served_from_cache = 0
         self._attached = 0
@@ -296,6 +328,11 @@ class LayoutScheduler:
         self._rejected = 0
         self._runtime_ema = 0.0
         self._replayed = self.queue.depth()  # pending jobs inherited from the journal
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        """Atomically increment one of the stats counters."""
+        with self._counters_lock:
+            setattr(self, counter, getattr(self, counter) + amount)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -394,7 +431,7 @@ class LayoutScheduler:
                 # queue actually took.
                 record, disposition = self.queue.submit(document, priority, client)
                 if disposition == "attached":
-                    self._attached += 1
+                    self._bump("_attached")
                 elif disposition in ("queued", "requeued"):
                     self.bus.publish("queued", key, record.label, "queued")
                     self._wakeup.notify()
@@ -402,7 +439,7 @@ class LayoutScheduler:
             if existing is not None and existing.state == "done":
                 entry = self._cache_hit(job)
                 if entry is not None:
-                    self._served_from_cache += 1
+                    self._bump("_served_from_cache")
                     return existing, "cached"
                 # Entry vanished (cache wiped/pruned): the journal says done
                 # but the layout is gone — force the work back into the queue.
@@ -430,7 +467,7 @@ class LayoutScheduler:
                     summary=summary,
                     runtime=float(entry.summary.get("runtime_s", 0.0)),
                 )
-                self._served_from_cache += 1
+                self._bump("_served_from_cache")
                 self.bus.publish("queued", key, record.label, "queued")
                 self.bus.publish(
                     "done", key, record.label, "done", detail="served from cache"
@@ -467,7 +504,7 @@ class LayoutScheduler:
         pending = self.queue.pending_counts()
         limit = self.class_limits.get(priority)
         if limit is not None and pending.get(priority, 0) >= limit:
-            self._rejected += 1
+            self._bump("_rejected")
             raise QueueSaturated(
                 f"{priority} queue is full ({limit} jobs)",
                 retry_after=self._retry_after_hint(pending.get(priority, 0)),
@@ -478,7 +515,7 @@ class LayoutScheduler:
         if priority == "background":
             shed_at = self.background_shed_ratio * self.max_queue_depth
             if depth >= shed_at:
-                self._shed += 1
+                self._bump("_shed")
                 raise QueueSaturated(
                     f"shedding background work (queue depth {depth} >= "
                     f"{shed_at:.0f} of {self.max_queue_depth})",
@@ -486,7 +523,7 @@ class LayoutScheduler:
                     shed=True,
                 )
         if depth >= self.max_queue_depth:
-            self._rejected += 1
+            self._bump("_rejected")
             raise QueueSaturated(
                 f"queue is full ({depth}/{self.max_queue_depth} jobs)",
                 retry_after=self._retry_after_hint(depth),
@@ -499,7 +536,9 @@ class LayoutScheduler:
         the recent runtime EMA, clamped to [1, 60] — a hint, not a
         promise, so the bound matters more than the precision.
         """
-        interval = self._runtime_ema if self._runtime_ema > 0 else 1.0
+        with self._counters_lock:
+            ema = self._runtime_ema
+        interval = ema if ema > 0 else 1.0
         estimate = interval * max(1, depth) / max(1, self.concurrency)
         return min(60.0, max(1.0, estimate))
 
@@ -513,26 +552,43 @@ class LayoutScheduler:
         Ordering: best priority class first; within a class the client
         served longest ago wins (per-client fairness); FIFO breaks ties.
         """
-        candidates = self.queue.queued()
-        if not candidates:
-            return None
-        record = min(
-            candidates,
-            key=lambda r: (
-                priority_rank(r.priority),
-                self._last_served.get(r.client, -1),
-                r.seq,
-            ),
+        while True:
+            candidates = self.queue.queued()
+            if not candidates:
+                return None
+            record = min(
+                candidates,
+                key=lambda r: (
+                    priority_rank(r.priority),
+                    self._last_served.get(r.client, -1),
+                    r.seq,
+                ),
+            )
+            self._last_served[record.client] = self._dispatch_seq
+            self._dispatch_seq += 1
+            if len(self._last_served) > _CLIENT_LIMIT:
+                for client in sorted(self._last_served, key=self._last_served.get)[
+                    : len(self._last_served) - _CLIENT_LIMIT
+                ]:
+                    del self._last_served[client]
+            if record.attempts >= self.poison_threshold:
+                # A previous incarnation of this content hash already burned
+                # the whole quarantine budget (attempts ride the ``requeued``
+                # disposition): re-quarantine without spending another worker.
+                self._quarantine_exhausted(record)
+                continue
+            self.queue.mark_running(record.key)
+            return record
+
+    def _quarantine_exhausted(self, record: JobRecord) -> None:
+        error = (
+            f"poisoned: quarantine budget exhausted "
+            f"(attempts={record.attempts}/{self.poison_threshold})"
         )
-        self._last_served[record.client] = self._dispatch_seq
-        self._dispatch_seq += 1
-        if len(self._last_served) > _CLIENT_LIMIT:
-            for client in sorted(self._last_served, key=self._last_served.get)[
-                : len(self._last_served) - _CLIENT_LIMIT
-            ]:
-                del self._last_served[client]
-        self.queue.mark_running(record.key)
-        return record
+        if self.queue.settle(record.key, "failed", error=error):
+            self._bump("_poisoned")
+            self._bump("_failed")
+            self.bus.publish("failed", record.key, record.label, "failed", detail=error)
 
     def _dispatch_thread(self) -> None:
         """Supervisor shell around :meth:`_dispatch_loop`.
@@ -546,7 +602,7 @@ class LayoutScheduler:
             try:
                 self._dispatch_loop()
             except BaseException:  # noqa: BLE001 - supervisor boundary
-                self._dispatcher_restarts += 1
+                self._bump("_dispatcher_restarts")
                 continue
             return
 
@@ -597,9 +653,9 @@ class LayoutScheduler:
         if outcome.ok:
             summary["served"] = "cache" if outcome.status == "cached" else "solve"
             if outcome.status == "cached":
-                self._served_from_cache += 1
+                self._bump("_served_from_cache")
             else:
-                self._solved += 1
+                self._bump("_solved")
                 self._observe_runtime(outcome.runtime)
         else:
             if self._is_worker_crash(outcome):
@@ -609,7 +665,7 @@ class LayoutScheduler:
                     # The crash may be environmental (OOM spike, injected
                     # fault): give the job another worker — but only
                     # poison_threshold of them in total.
-                    self._crash_retries += 1
+                    self._bump("_crash_retries")
                     requeued = self.queue.requeue(record.key)
                     self.bus.publish(
                         "queued",
@@ -627,9 +683,9 @@ class LayoutScheduler:
                     return
                 # This job reliably kills its workers: quarantine it so it
                 # cannot eat the pool forever.
-                self._poisoned += 1
+                self._bump("_poisoned")
                 error = f"poisoned: {outcome.error} (attempts={attempts})"
-            self._failed += 1
+            self._bump("_failed")
         settled = self.queue.settle(
             record.key,
             state,
@@ -661,16 +717,22 @@ class LayoutScheduler:
         )
 
     def _observe_runtime(self, runtime: float) -> None:
-        """Feed the runtime EMA behind the ``Retry-After`` hint."""
+        """Feed the runtime EMA behind the ``Retry-After`` hint.
+
+        Every dispatcher reports here; the read-modify-write of the EMA
+        happens under the counters lock or concurrent settlements would
+        silently drop samples.
+        """
         if runtime <= 0:
             return
-        if self._runtime_ema <= 0:
-            self._runtime_ema = runtime
-        else:
-            self._runtime_ema = 0.8 * self._runtime_ema + 0.2 * runtime
+        with self._counters_lock:
+            if self._runtime_ema <= 0:
+                self._runtime_ema = runtime
+            else:
+                self._runtime_ema = 0.8 * self._runtime_ema + 0.2 * runtime
 
     def _settle_failure(self, record: JobRecord, error: str) -> None:
-        self._failed += 1
+        self._bump("_failed")
         if self.queue.settle(record.key, "failed", error=error):
             self.bus.publish("failed", record.key, record.label, "failed", detail=error)
 
@@ -692,6 +754,8 @@ class LayoutScheduler:
         journal_degraded = self.queue.degraded
         cache_error = self.cache.last_put_error
         degraded = journal_degraded is not None or cache_error is not None
+        with self._counters_lock:
+            restarts = self._dispatcher_restarts
         return {
             "status": "degraded" if degraded else "ok",
             "draining": self._draining,
@@ -703,7 +767,7 @@ class LayoutScheduler:
             "dispatchers_alive": sum(
                 1 for thread in self._threads if thread.is_alive()
             ),
-            "dispatcher_restarts": self._dispatcher_restarts,
+            "dispatcher_restarts": restarts,
         }
 
     def saturated(self) -> bool:
@@ -718,16 +782,28 @@ class LayoutScheduler:
         """The ``GET /stats`` document."""
         counts = self.queue.counts()
         pending = self.queue.pending_counts()
+        with self._counters_lock:  # one coherent snapshot of the counters
+            snapshot = {
+                "solved": self._solved,
+                "served_from_cache": self._served_from_cache,
+                "attached": self._attached,
+                "failures": self._failed,
+                "rejected": self._rejected,
+                "shed": self._shed,
+                "dispatcher_restarts": self._dispatcher_restarts,
+                "crash_retries": self._crash_retries,
+                "poisoned": self._poisoned,
+            }
         return {
             "uptime_s": round(time.time() - self.started_unix, 1),
             "queue_depth": counts["queued"],
             "running": counts["running"],
             "jobs": counts,
             "replayed_from_journal": self._replayed,
-            "solved": self._solved,
-            "served_from_cache": self._served_from_cache,
-            "attached": self._attached,
-            "failures": self._failed,
+            "solved": snapshot["solved"],
+            "served_from_cache": snapshot["served_from_cache"],
+            "attached": snapshot["attached"],
+            "failures": snapshot["failures"],
             "dispatchers": self.concurrency,
             "pool_workers": self.runner.workers,
             "cache": self.cache.stats.as_dict(),
@@ -737,16 +813,16 @@ class LayoutScheduler:
                 "class_limits": dict(self.class_limits),
                 "background_shed_ratio": self.background_shed_ratio,
                 "pending_by_class": pending,
-                "rejected": self._rejected,
-                "shed": self._shed,
+                "rejected": snapshot["rejected"],
+                "shed": snapshot["shed"],
                 "retry_after_hint_s": round(
                     self._retry_after_hint(counts["queued"]), 1
                 ),
             },
             "supervision": {
-                "dispatcher_restarts": self._dispatcher_restarts,
-                "crash_retries": self._crash_retries,
-                "poisoned": self._poisoned,
+                "dispatcher_restarts": snapshot["dispatcher_restarts"],
+                "crash_retries": snapshot["crash_retries"],
+                "poisoned": snapshot["poisoned"],
                 "poison_threshold": self.poison_threshold,
             },
             "health": self.health(),

@@ -123,6 +123,86 @@ class TestWorkerCrashes:
             scheduler.stop()
 
 
+class TestResubmittedCrasher:
+    def test_resubmission_cannot_exceed_poison_budget(self, tmp_path):
+        """The quarantine budget is per content hash, not per submission.
+
+        A job that reliably kills its workers gets exactly
+        ``poison_threshold`` attempts *total*: resubmitting it after the
+        quarantine must re-fail it as poisoned without buying a single
+        additional worker.  (Before attempts rode the ``requeued``
+        disposition, every resubmission restarted from ``attempts=0`` and
+        the crasher could eat the pool forever, two workers at a time.)
+        """
+        scheduler = make_pool_scheduler(tmp_path, poison_threshold=2)
+        FAULTS.install(
+            [FaultSpec(point="worker.run", action="crash", times=0)],  # always
+            state_dir=tmp_path / "faults",
+        )
+        scheduler.start()
+        try:
+            record, _ = scheduler.submit(tiny_document("repeat-offender"))
+            assert wait_until(lambda: scheduler.queue.get(record.key).terminal, 60)
+            first = scheduler.queue.get(record.key)
+            assert first.state == "failed"
+            assert first.error.startswith("poisoned:")
+            assert first.attempts == 2
+
+            for round_number in (1, 2):
+                again, disposition = scheduler.submit(
+                    tiny_document("repeat-offender")
+                )
+                assert again.key == record.key  # same content hash
+                assert disposition == "requeued"
+                assert again.attempts == 2  # the spent budget came along
+                assert wait_until(
+                    lambda: scheduler.queue.get(record.key).terminal, 60
+                )
+                settled = scheduler.queue.get(record.key)
+                assert settled.state == "failed"
+                assert settled.error.startswith("poisoned:")
+                # The invariant under test: total attempts across ALL
+                # resubmissions never exceed poison_threshold.
+                assert settled.attempts == 2, round_number
+
+            stats = scheduler.stats()["supervision"]
+            # One environmental retry from the original incarnation; the
+            # resubmissions were quarantined without running a worker.
+            assert stats["crash_retries"] == 1
+            assert stats["poisoned"] == 3  # one per quarantine decision
+        finally:
+            scheduler.stop()
+
+    def test_resubmitted_ordinary_failure_still_gets_a_worker(self, tmp_path):
+        """The pre-dispatch quarantine only fires on a *spent* budget.
+
+        A job that failed cleanly (raise, not a dead worker) with attempts
+        to spare is dispatched again on resubmission and can succeed."""
+        scheduler = make_pool_scheduler(tmp_path, poison_threshold=3)
+        FAULTS.install(
+            [FaultSpec(point="worker.run", action="raise", times=1)],
+            state_dir=tmp_path / "faults",
+        )
+        scheduler.start()
+        try:
+            record, _ = scheduler.submit(tiny_document("one-bad-day"))
+            assert wait_until(lambda: scheduler.queue.get(record.key).terminal, 60)
+            first = scheduler.queue.get(record.key)
+            assert first.state == "failed"
+            assert not first.error.startswith("poisoned:")
+            assert first.attempts == 1
+
+            again, disposition = scheduler.submit(tiny_document("one-bad-day"))
+            assert disposition == "requeued"
+            assert again.attempts == 1
+            assert wait_until(lambda: scheduler.queue.get(record.key).terminal, 60)
+            settled = scheduler.queue.get(record.key)
+            assert settled.state == "done"
+            assert settled.attempts == 2
+        finally:
+            scheduler.stop()
+
+
 class TestAttemptsSurviveRestart:
     def test_attempts_replay_from_journal(self, tmp_path):
         """A crasher cannot reset its quarantine budget by killing the

@@ -1,0 +1,83 @@
+"""Percentile math and latency summaries on known inputs."""
+
+import time
+
+import pytest
+
+from repro.loadgen import DepthSampler, percentile, summarize
+
+
+class TestPercentile:
+    def test_known_values_1_to_100(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 100.0
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 95) == pytest.approx(95.05)
+        assert percentile(values, 99) == pytest.approx(99.01)
+
+    def test_interpolates_between_ranks(self):
+        # Ranks 0..3 → p50 falls exactly between the middle two.
+        assert percentile([10.0, 20.0, 30.0, 40.0], 50) == pytest.approx(25.0)
+        assert percentile([10.0, 20.0, 30.0, 40.0], 25) == pytest.approx(17.5)
+
+    def test_order_independent(self):
+        assert percentile([3, 1, 2], 50) == percentile([1, 2, 3], 50) == 2.0
+
+    def test_single_sample(self):
+        assert percentile([7.5], 0) == 7.5
+        assert percentile([7.5], 99) == 7.5
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @pytest.mark.parametrize("q", [-1, 100.1])
+    def test_out_of_range_q_raises(self, q):
+        with pytest.raises(ValueError):
+            percentile([1.0], q)
+
+
+class TestSummarize:
+    def test_full_summary(self):
+        summary = summarize([4.0, 1.0, 3.0, 2.0])
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["p50"] == pytest.approx(2.5)
+
+    def test_empty_sample_is_schema_stable(self):
+        summary = summarize([])
+        assert summary["count"] == 0
+        # Every statistical key is present (None), so snapshot diffs
+        # never gain/lose keys when a path saw no traffic.
+        assert set(summary) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+        assert all(summary[k] is None for k in summary if k != "count")
+
+
+class TestDepthSampler:
+    def test_samples_accumulate_and_stop(self):
+        calls = []
+
+        def probe():
+            calls.append(1)
+            return {"queued": len(calls), "running": 0}
+
+        sampler = DepthSampler(probe, interval=0.02).start()
+        time.sleep(0.15)
+        samples = sampler.stop()
+        # One sample at start, one at stop, plus the periodic ones.
+        assert len(samples) >= 4
+        offsets = [t for t, _ in samples]
+        assert offsets == sorted(offsets)
+        assert sampler.peak("queued") == len(calls)
+
+    def test_probe_exceptions_do_not_kill_the_run(self):
+        def bad_probe():
+            raise RuntimeError("boom")
+
+        sampler = DepthSampler(bad_probe, interval=0.01).start()
+        time.sleep(0.05)
+        assert sampler.stop() == []
+        assert sampler.peak("queued") == 0

@@ -1,0 +1,77 @@
+"""The BENCH_*.json envelope: round-trips, validation, and overrides."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.loadgen import (
+    BENCH_DIR_ENV,
+    SNAPSHOT_SCHEMA,
+    SNAPSHOT_SCHEMA_VERSION,
+    load_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        data = {"timings_s": {"test_a": 1.25}, "nested": {"x": [1, 2, 3]}}
+        path = write_snapshot("demo", data, directory=tmp_path)
+        assert path == tmp_path / "BENCH_demo.json"
+        envelope = load_snapshot(path)
+        assert envelope["schema"] == SNAPSHOT_SCHEMA
+        assert envelope["schema_version"] == SNAPSHOT_SCHEMA_VERSION
+        assert envelope["name"] == "demo"
+        assert envelope["data"] == data
+        assert envelope["created_unix"] > 0
+
+    def test_load_by_name(self, tmp_path):
+        write_snapshot("by_name", {"k": 1}, directory=tmp_path)
+        envelope = load_snapshot("by_name", directory=tmp_path)
+        assert envelope["data"] == {"k": 1}
+
+    def test_overwrite_is_atomic_no_staging_left(self, tmp_path):
+        write_snapshot("twice", {"run": 1}, directory=tmp_path)
+        write_snapshot("twice", {"run": 2}, directory=tmp_path)
+        assert load_snapshot("twice", directory=tmp_path)["data"] == {"run": 2}
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_env_override_directs_writes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BENCH_DIR_ENV, str(tmp_path / "redirected"))
+        path = write_snapshot("via_env", {"k": 2})
+        assert path.parent == tmp_path / "redirected"
+        assert load_snapshot("via_env")["data"] == {"k": 2}
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", ["", "a/b", "..\\evil"])
+    def test_bad_names_rejected(self, name, tmp_path):
+        with pytest.raises(ConfigurationError):
+            snapshot_path(name, tmp_path)
+
+    def test_missing_snapshot(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no benchmark snapshot"):
+            load_snapshot("absent", directory=tmp_path)
+
+    def test_corrupt_json(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            load_snapshot(bad)
+
+    def test_foreign_document_rejected(self, tmp_path):
+        alien = tmp_path / "BENCH_alien.json"
+        alien.write_text(json.dumps({"schema": "other", "data": {}}), encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not an"):
+            load_snapshot(alien)
+
+    def test_newer_schema_version_rejected(self, tmp_path):
+        path = write_snapshot("future", {"k": 1}, directory=tmp_path)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["schema_version"] = SNAPSHOT_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="schema_version"):
+            load_snapshot(path)

@@ -1,0 +1,88 @@
+"""EventBus fan-out is indexed by key: publish touches one job's watchers.
+
+Regression tests for the O(subscribers) publish bottleneck — with many
+SSE watchers connected, an event for job A must be delivered to A's
+watchers and the firehose only, never routed through B's.
+"""
+
+from repro.service.scheduler import EventBus
+
+
+def drain(subscription):
+    events = []
+    while True:
+        event = subscription.get(timeout=0.05)
+        if event is None:
+            return events
+        events.append(event)
+
+
+class TestKeyedFanout:
+    def test_publish_reaches_only_that_key_and_firehose(self):
+        bus = EventBus()
+        watcher_a = bus.subscribe("job-a")
+        watcher_b = bus.subscribe("job-b")
+        firehose = bus.subscribe(None)
+
+        bus.publish("queued", "job-a", "A", "queued")
+        assert [e["key"] for e in drain(watcher_a)] == ["job-a"]
+        assert drain(watcher_b) == []
+        assert [e["key"] for e in drain(firehose)] == ["job-a"]
+
+    def test_multiple_watchers_per_key_all_served(self):
+        bus = EventBus()
+        watchers = [bus.subscribe("job-a") for _ in range(5)]
+        bus.publish("done", "job-a", "A", "done")
+        for watcher in watchers:
+            assert [e["kind"] for e in drain(watcher)] == ["done"]
+
+    def test_replay_survives_the_keyed_index(self):
+        bus = EventBus()
+        bus.publish("queued", "job-a", "A", "queued")
+        bus.publish("done", "job-a", "A", "done")
+        late = bus.subscribe("job-a", replay=True)
+        assert [e["kind"] for e in drain(late)] == ["queued", "done"]
+        cursor = bus.subscribe("job-a", replay=True, after=1)
+        assert [e["kind"] for e in drain(cursor)] == ["done"]
+
+    def test_unsubscribe_cleans_empty_buckets(self):
+        bus = EventBus()
+        first = bus.subscribe("job-a")
+        second = bus.subscribe("job-a")
+        first.close()
+        assert "job-a" in bus._by_key  # one watcher still attached
+        second.close()
+        assert "job-a" not in bus._by_key  # settled jobs must not leak buckets
+        bus.publish("done", "job-a", "A", "done")  # publishing stays safe
+
+    def test_unsubscribe_firehose(self):
+        bus = EventBus()
+        firehose = bus.subscribe(None)
+        firehose.close()
+        assert bus._firehose == []
+        bus.publish("queued", "job-a", "A", "queued")
+        assert drain(firehose) == []
+
+    def test_double_close_is_harmless(self):
+        bus = EventBus()
+        watcher = bus.subscribe("job-a")
+        watcher.close()
+        watcher.close()
+        assert "job-a" not in bus._by_key
+
+    def test_broadcast_shutdown_reaches_everyone(self):
+        bus = EventBus()
+        keyed = bus.subscribe("job-a")
+        other = bus.subscribe("job-b")
+        firehose = bus.subscribe(None)
+        bus.broadcast_shutdown("drain test")
+        for subscription in (keyed, other, firehose):
+            kinds = [e["kind"] for e in drain(subscription)]
+            assert kinds == ["shutdown"]
+
+    def test_shutdown_not_recorded_in_history(self):
+        bus = EventBus()
+        bus.publish("queued", "job-a", "A", "queued")
+        bus.broadcast_shutdown()
+        late = bus.subscribe("job-a", replay=True)
+        assert [e["kind"] for e in drain(late)] == ["queued"]

@@ -1,0 +1,90 @@
+"""``GET /jobs`` filtering: ``?state=`` / ``?limit=`` with a bounded default.
+
+The unbounded listing used to serialize every record ever journaled;
+after a long load run that is tens of thousands of settled jobs per
+request.  The endpoint now serves the newest ``limit`` matches (default
+500) plus a ``total`` so truncation is detectable.
+"""
+
+import threading
+
+import pytest
+
+from repro.runner import LayoutJob
+from repro.service import LayoutService, ServiceClient, ServiceError
+from tests.conftest import build_tiny_netlist
+
+
+@pytest.fixture
+def service(tmp_path):
+    instance = LayoutService(
+        data_dir=tmp_path / "svc", inline=True, concurrency=2, fsync=False
+    )
+    instance.bind(port=0)
+    instance.start()
+    threading.Thread(target=instance.serve_forever, daemon=True).start()
+    yield instance
+    instance.shutdown()
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(f"http://127.0.0.1:{service.port}", timeout=30.0)
+
+
+def tiny_job(tag=""):
+    return LayoutJob(flow="manual", netlist=build_tiny_netlist(), tag=tag)
+
+
+def submit_and_settle(service, client, count):
+    keys = [client.submit_job(tiny_job(f"listing-{i}"))["key"] for i in range(count)]
+    for key in keys:
+        client.wait(key, timeout=60.0)
+    return keys
+
+
+class TestJobsListing:
+    def test_state_filter(self, service, client):
+        submit_and_settle(service, client, 3)
+        service.scheduler.stop()  # freeze dispatch: the next job stays queued
+        client.submit_job(tiny_job("stuck"))
+
+        page = client.jobs_page(state="done")
+        assert page["total"] == 3
+        assert [r["state"] for r in page["jobs"]] == ["done"] * 3
+        page = client.jobs_page(state="queued")
+        assert page["total"] == 1
+
+    def test_limit_returns_newest_with_total(self, service, client):
+        keys = submit_and_settle(service, client, 4)
+        page = client.jobs_page(limit=2)
+        assert page["total"] == 4
+        assert len(page["jobs"]) == 2
+        # The newest records (by admission seq) survive the bound.
+        returned = [r["key"] for r in page["jobs"]]
+        assert returned == keys[-2:]
+
+    def test_limit_zero_is_unbounded(self, service, client):
+        submit_and_settle(service, client, 3)
+        page = client.jobs_page(limit=0)
+        assert page["total"] == 3
+        assert len(page["jobs"]) == 3
+
+    def test_default_listing_is_bounded(self, service, client):
+        submit_and_settle(service, client, 2)
+        page = client.jobs_page()
+        assert page["limit"] == 500  # the bounded default is explicit
+        assert page["total"] == 2
+
+    def test_bad_state_400(self, client):
+        with pytest.raises(ServiceError, match="400"):
+            client.jobs_page(state="exploded")
+
+    def test_bad_limit_400(self, client):
+        with pytest.raises(ServiceError, match="400"):
+            client._json("/jobs?limit=banana")
+
+    def test_jobs_helper_still_returns_list(self, service, client):
+        submit_and_settle(service, client, 1)
+        jobs = client.jobs(state="done")
+        assert isinstance(jobs, list) and jobs[0]["state"] == "done"

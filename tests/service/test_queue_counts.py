@@ -1,0 +1,157 @@
+"""Incremental per-state counts, bounded listing, and the attempts budget.
+
+Regression tests for two load-lens bugs:
+
+* ``counts()``/``depth()`` used to scan every record ever journaled —
+  they are now tallies maintained on each transition, and these tests
+  pin them to a full recount at every step (including across replay);
+* resubmitting a ``failed`` job used to build a fresh record with
+  ``attempts=0``, handing a poisoned job a fresh quarantine budget.
+"""
+
+import collections
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import LayoutJob
+from repro.service import JobQueue, job_to_document
+from tests.conftest import build_tiny_netlist
+
+
+def tiny_document(tag=""):
+    return job_to_document(
+        LayoutJob(flow="manual", netlist=build_tiny_netlist(), tag=tag)
+    )
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    return tmp_path / "service"
+
+
+def assert_counts_match_recount(queue):
+    recount = collections.Counter(r.state for r in queue.records())
+    counts = queue.counts()
+    for state, count in counts.items():
+        assert count == recount.get(state, 0), (state, counts, dict(recount))
+    assert queue.depth() == counts["queued"]
+
+
+class TestIncrementalCounts:
+    def test_counts_track_every_transition(self, data_dir):
+        queue = JobQueue(data_dir, fsync=False)
+        a, _ = queue.submit(tiny_document("a"))
+        b, _ = queue.submit(tiny_document("b"))
+        assert_counts_match_recount(queue)
+        queue.mark_running(a.key)
+        assert_counts_match_recount(queue)
+        queue.settle(a.key, "done", summary={})
+        assert_counts_match_recount(queue)
+        queue.mark_running(b.key)
+        queue.settle(b.key, "failed", error="boom")
+        assert_counts_match_recount(queue)
+        # Resubmission of the failure and a forced requeue of the done job.
+        queue.submit(tiny_document("b"))
+        queue.requeue(a.key)
+        assert_counts_match_recount(queue)
+        assert queue.counts()["queued"] == 2
+
+    def test_counts_rebuilt_on_replay(self, data_dir):
+        queue = JobQueue(data_dir, fsync=False)
+        a, _ = queue.submit(tiny_document("a"))
+        queue.mark_running(a.key)
+        queue.settle(a.key, "done", summary={})
+        b, _ = queue.submit(tiny_document("b"))
+        queue.mark_running(b.key)  # left running: replay requeues it
+
+        revived = JobQueue(data_dir, fsync=False)
+        assert_counts_match_recount(revived)
+        counts = revived.counts()
+        assert counts["done"] == 1
+        assert counts["queued"] == 1  # the in-flight job came back queued
+        assert counts["running"] == 0
+
+    def test_attach_does_not_change_counts(self, data_dir):
+        queue = JobQueue(data_dir, fsync=False)
+        queue.submit(tiny_document("a"))
+        _, disposition = queue.submit(tiny_document("a"))
+        assert disposition == "attached"
+        assert queue.counts()["queued"] == 1
+        assert_counts_match_recount(queue)
+
+
+class TestSelect:
+    def _populated(self, data_dir):
+        queue = JobQueue(data_dir, fsync=False)
+        for i in range(6):
+            record, _ = queue.submit(tiny_document(f"job-{i}"))
+            if i < 4:
+                queue.mark_running(record.key)
+                queue.settle(record.key, "done", summary={})
+        return queue
+
+    def test_filter_by_state(self, data_dir):
+        queue = self._populated(data_dir)
+        done, total = queue.select(state="done")
+        assert total == 4 and len(done) == 4
+        assert all(r.state == "done" for r in done)
+        queued, total = queue.select(state="queued")
+        assert total == 2 and len(queued) == 2
+
+    def test_limit_keeps_newest_in_journal_order(self, data_dir):
+        queue = self._populated(data_dir)
+        bounded, total = queue.select(state="done", limit=2)
+        assert total == 4  # total counts matches *before* the bound
+        assert len(bounded) == 2
+        all_done, _ = queue.select(state="done")
+        assert bounded == all_done[-2:]  # newest two, still seq-ordered
+
+    def test_unbounded_variants(self, data_dir):
+        queue = self._populated(data_dir)
+        assert len(queue.select(limit=0)[0]) == 6
+        assert len(queue.select(limit=None)[0]) == 6
+        assert queue.select()[1] == 6
+
+    def test_unknown_state_rejected(self, data_dir):
+        queue = self._populated(data_dir)
+        with pytest.raises(ConfigurationError, match="unknown job state"):
+            queue.select(state="exploded")
+
+
+class TestAttemptsCarryOver:
+    def test_resubmission_inherits_attempts(self, data_dir):
+        queue = JobQueue(data_dir, fsync=False)
+        record, _ = queue.submit(tiny_document("crasher"))
+        for _ in range(3):
+            queue.mark_running(record.key)
+            queue.requeue(record.key)
+        queue.mark_running(record.key)
+        queue.settle(record.key, "failed", error="poisoned")
+        assert queue.get(record.key).attempts == 4
+
+        resubmitted, disposition = queue.submit(tiny_document("crasher"))
+        assert disposition == "requeued"
+        # The poison-quarantine budget is per content hash: a resubmitted
+        # crasher must NOT restart from attempts=0.
+        assert resubmitted.attempts == 4
+
+    def test_inherited_attempts_survive_replay(self, data_dir):
+        queue = JobQueue(data_dir, fsync=False)
+        record, _ = queue.submit(tiny_document("crasher"))
+        queue.mark_running(record.key)
+        queue.settle(record.key, "failed", error="boom")
+        queue.submit(tiny_document("crasher"))  # requeued with attempts=1
+
+        revived = JobQueue(data_dir, fsync=False)
+        assert revived.get(record.key).attempts == 1
+        assert revived.get(record.key).state == "queued"
+
+    def test_done_resubmission_keeps_done(self, data_dir):
+        queue = JobQueue(data_dir, fsync=False)
+        record, _ = queue.submit(tiny_document("fine"))
+        queue.mark_running(record.key)
+        queue.settle(record.key, "done", summary={})
+        again, disposition = queue.submit(tiny_document("fine"))
+        assert disposition == "done"
+        assert again.attempts == 1
