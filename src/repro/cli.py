@@ -292,6 +292,16 @@ def build_parser() -> argparse.ArgumentParser:
         "requeueing them (default: 30)",
     )
     serve.add_argument("--quiet", action="store_true", help="suppress per-event log lines")
+    serve.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON log lines (one object per line, with "
+        "trace IDs) instead of the human-readable event log",
+    )
+    serve.add_argument(
+        "--log-file", default=None, metavar="PATH",
+        help="also append the structured JSON log to this file "
+        "(implies --log-json plumbing; stderr stream only with --log-json)",
+    )
 
     submit = subparsers.add_parser(
         "submit", help="submit a job to a running service"
@@ -345,6 +355,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="service base URL (default: http://127.0.0.1:8080)",
     )
     status.add_argument("--json", action="store_true", help="print the raw JSON document")
+    status.add_argument(
+        "--watch", action="store_true",
+        help="refresh the service-wide summary in place until interrupted "
+        "(service summary only; ignored with a job key)",
+    )
+    status.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="refresh period for --watch in seconds (default: 2)",
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="print a job's span tree from a running service"
+    )
+    trace.add_argument(
+        "key", help="job content hash (or the unique prefix the CLI prints)"
+    )
+    trace.add_argument(
+        "--service", default="http://127.0.0.1:8080", metavar="URL",
+        help="service base URL (default: http://127.0.0.1:8080)",
+    )
+    trace.add_argument("--json", action="store_true", help="print the raw JSON document")
 
     loadtest = subparsers.add_parser(
         "loadtest",
@@ -393,6 +424,10 @@ def build_parser() -> argparse.ArgumentParser:
         "(honours RFIC_BENCH_DIR)",
     )
     loadtest.add_argument("--json", action="store_true", help="print the raw report JSON")
+    loadtest.add_argument(
+        "--metrics-dump", default=None, metavar="PATH",
+        help="write the final /metrics Prometheus exposition to this file",
+    )
 
     return parser
 
@@ -674,8 +709,12 @@ def _command_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    from repro.obs.logging import LOG
     from repro.service import LayoutService
 
+    log_json = args.log_json or args.log_file is not None
+    if log_json:
+        LOG.configure(path=args.log_file)
     service = LayoutService(
         data_dir=args.data_dir,
         cache_dir=args.cache_dir,
@@ -706,7 +745,9 @@ def _command_serve(args: argparse.Namespace) -> int:
     service.start()
     if args.port_file:
         service.write_port_file(args.port_file)
-    if not args.quiet:
+    if not args.quiet and not log_json:
+        # With --log-json the scheduler already emits structured lines for
+        # every lifecycle transition; a second firehose would duplicate it.
         subscription = service.scheduler.bus.subscribe(None, replay=False)
 
         def _pump() -> None:
@@ -798,10 +839,25 @@ def _command_submit(args: argparse.Namespace) -> int:
 
 
 def _command_status(args: argparse.Namespace) -> int:
+    import time as _time
+
     from repro.service import ServiceClient, ServiceError
 
     client = ServiceClient(args.service)
     try:
+        if args.watch and not args.key:
+            interval = max(0.2, args.interval)
+            try:
+                while True:
+                    print("\x1b[2J\x1b[H", end="")  # clear + home
+                    _print_status(client, args)
+                    print(
+                        f"  (refreshing every {interval:g}s — Ctrl-C to stop)",
+                        flush=True,
+                    )
+                    _time.sleep(interval)
+            except KeyboardInterrupt:
+                return 0
         return _print_status(client, args)
     except ServiceError as exc:
         raise SystemExit(f"error: {exc}")
@@ -869,6 +925,43 @@ def _print_status(client, args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.service)
+    try:
+        document = client.trace(args.key)
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    trace_id = document.get("trace") or "-"
+    print(
+        f"job {document['key'][:12]} ({document.get('label') or '?'}) "
+        f"trace {trace_id} [state: {document['state']}]"
+    )
+    total = document.get("total_s")
+    span_sum = document.get("span_sum_s")
+    if total is not None:
+        print(f"  total {total:.3f}s (top-level spans sum to {span_sum:.3f}s)")
+    if document.get("truncated"):
+        print("  (truncated: spans synthesized from the journal)")
+    spans = document.get("spans") or []
+    if not spans:
+        print("  no spans recorded yet")
+        return 0
+    for span in spans:
+        indent = "    " if span.get("parent") else "  "
+        flags = " [truncated]" if span.get("truncated") else ""
+        detail = f"  {span['detail']}" if span.get("detail") else ""
+        print(
+            f"{indent}{span['name']:<16} {span['duration_s'] * 1000:>10.2f}ms"
+            f"{detail}{flags}"
+        )
+    return 0
+
+
 def _command_circuits(args: argparse.Namespace) -> int:
     rows = []
     for name in circuit_names():
@@ -921,6 +1014,14 @@ def _command_loadtest(args: argparse.Namespace) -> int:
     if args.snapshot:
         path = write_snapshot("service_load", data)
         print(f"snapshot written to {path}", flush=True)
+    if args.metrics_dump:
+        if report.metrics_text:
+            Path(args.metrics_dump).write_text(
+                report.metrics_text, encoding="utf-8"
+            )
+            print(f"metrics exposition written to {args.metrics_dump}", flush=True)
+        else:
+            print("no /metrics exposition captured; nothing dumped", flush=True)
     if args.json:
         print(json.dumps(data, indent=2, sort_keys=True))
         return 0 if report.ok else 1
@@ -970,6 +1071,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _command_serve,
         "submit": _command_submit,
         "status": _command_status,
+        "trace": _command_trace,
         "loadtest": _command_loadtest,
     }
     return handlers[args.command](args)

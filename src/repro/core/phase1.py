@@ -72,7 +72,9 @@ def run_phase1(
         same_net_spacing=config.same_net_spacing,
     )
     builder = RficModelBuilder(netlist, config, options, name=f"phase1[{netlist.name}]")
+    build_started = time.perf_counter()
     build = builder.build()
+    model_build_time = time.perf_counter() - build_started
     settings = config.phase1
     warm_values = None
     if settings.warm_start and seeds is not None:
@@ -103,6 +105,7 @@ def run_phase1(
         bend_counts=build.bend_counts(solution),
         total_overlap=build.total_overlap(solution),
         model_statistics=build.model.statistics(),
+        model_build_time=model_build_time,
     )
 
 

@@ -70,7 +70,9 @@ def run_phase2(
         same_net_spacing=config.same_net_spacing,
     )
     builder = RficModelBuilder(netlist, config, options, name=f"phase2[{netlist.name}]")
+    build_started = time.perf_counter()
     build = builder.build()
+    model_build_time = time.perf_counter() - build_started
     settings = config.phase2
     warm_values = None
     if settings.warm_start:
@@ -107,6 +109,7 @@ def run_phase2(
         bend_counts=build.bend_counts(solution),
         total_overlap=build.total_overlap(solution),
         model_statistics=build.model.statistics(),
+        model_build_time=model_build_time,
     )
 
 

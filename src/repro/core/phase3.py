@@ -171,7 +171,9 @@ def run_phase3_iteration(
     builder = RficModelBuilder(
         netlist, escalated, options, name=f"phase3[{netlist.name}][{iteration}]"
     )
+    build_started = time.perf_counter()
     build = builder.build()
+    model_build_time = time.perf_counter() - build_started
     settings = config.phase3
     warm_values = None
     if settings.warm_start:
@@ -226,6 +228,7 @@ def run_phase3_iteration(
         bend_counts=build.bend_counts(solution),
         total_overlap=build.total_overlap(solution),
         model_statistics=build.model.statistics(),
+        model_build_time=model_build_time,
     )
 
 

@@ -61,8 +61,13 @@ class PILPLayoutGenerator:
         refinement_results, best_layout = run_phase3(netlist, phase2.layout, config)
         phases.extend(refinement_results)
 
-        runtime = time.perf_counter() - start
         final_layout = best_layout.with_simplified_routes()
+        metrics_started = time.perf_counter()
+        metrics = compute_metrics(final_layout)
+        drc_started = time.perf_counter()
+        drc = run_drc(final_layout)
+        drc_done = time.perf_counter()
+        runtime = drc_done - start
         final_layout.metadata.update(
             {
                 "flow": self.flow_name,
@@ -75,10 +80,14 @@ class PILPLayoutGenerator:
             flow=self.flow_name,
             circuit=netlist.name,
             layout=final_layout,
-            metrics=compute_metrics(final_layout),
-            drc=run_drc(final_layout),
+            metrics=metrics,
+            drc=drc,
             runtime=runtime,
             phases=phases,
+            timings={
+                "metrics_s": drc_started - metrics_started,
+                "drc_s": drc_done - drc_started,
+            },
         )
 
     def snapshots(self, result: FlowResult) -> Dict[str, Layout]:

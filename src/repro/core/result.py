@@ -34,6 +34,9 @@ class PhaseResult:
         Sum of residual overlap slack (zero when overlap was forbidden).
     model_statistics:
         Variable / constraint counts of the phase model.
+    model_build_time:
+        Wall-clock seconds spent constructing the phase model (a subset of
+        ``runtime``; the remainder is solver time plus layout extraction).
     """
 
     phase: str
@@ -44,6 +47,7 @@ class PhaseResult:
     bend_counts: Dict[str, int] = field(default_factory=dict)
     total_overlap: float = 0.0
     model_statistics: Dict[str, int] = field(default_factory=dict)
+    model_build_time: float = 0.0
 
     @property
     def max_abs_length_error(self) -> float:
@@ -95,6 +99,10 @@ class FlowResult:
         Total wall-clock seconds.
     phases:
         Per-phase results in execution order (empty for single-shot flows).
+    timings:
+        Wall-clock seconds of flow stages outside the phase solves —
+        currently ``drc_s`` and ``metrics_s`` (filled by the flows that
+        measure them; empty otherwise).
     """
 
     flow: str
@@ -104,6 +112,7 @@ class FlowResult:
     drc: DRCReport
     runtime: float
     phases: List[PhaseResult] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def is_clean(self) -> bool:
@@ -127,3 +136,31 @@ class FlowResult:
     def phase_table(self) -> List[Dict[str, object]]:
         """Per-phase summaries (for the progressive flow's progress report)."""
         return [phase.summary() for phase in self.phases]
+
+    def profile(self) -> Dict[str, object]:
+        """Per-stage cost breakdown of this run (the cache keeps it forever).
+
+        The phase entries split wall time into model build vs. solver and
+        carry the backend's iteration count when it reports one, so a perf
+        regression in a cached result can be attributed to a stage without
+        re-running the flow.
+        """
+        phases: List[Dict[str, object]] = []
+        for phase in self.phases:
+            entry: Dict[str, object] = {
+                "phase": phase.phase,
+                "wall_s": round(phase.runtime, 6),
+                "model_build_s": round(phase.model_build_time, 6),
+                "solver_s": round(phase.solution.solve_time, 6),
+                "solver_backend": phase.solution.backend,
+            }
+            if phase.solution.iterations is not None:
+                entry["solver_iterations"] = int(phase.solution.iterations)
+            phases.append(entry)
+        doc: Dict[str, object] = {
+            "phases": phases,
+            "total_s": round(self.runtime, 6),
+        }
+        for stage, seconds in sorted(self.timings.items()):
+            doc[stage] = round(float(seconds), 6)
+        return doc

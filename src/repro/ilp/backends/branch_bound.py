@@ -112,6 +112,7 @@ class BranchAndBoundBackend(SolverBackend):
                 objective=form.objective_constant,
                 values={},
                 backend=self.name,
+                iterations=0,
             )
 
         objective = form.objective.copy()
@@ -265,12 +266,14 @@ class BranchAndBoundBackend(SolverBackend):
                     solve_time=elapsed,
                     backend=self.name,
                     message=f"explored {nodes_explored} nodes",
+                    iterations=nodes_explored,
                 )
             return Solution(
                 status=SolveStatus.TIME_LIMIT,
                 solve_time=elapsed,
                 backend=self.name,
                 message=f"no incumbent after {nodes_explored} nodes",
+                iterations=nodes_explored,
             )
 
         values = self.assignment_from_vector(form, incumbent_x)
@@ -294,6 +297,7 @@ class BranchAndBoundBackend(SolverBackend):
             backend=self.name,
             gap=gap if not optimal else 0.0,
             message=f"explored {nodes_explored} nodes",
+            iterations=nodes_explored,
         )
 
     # ------------------------------------------------------------------ #

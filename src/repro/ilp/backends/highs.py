@@ -244,8 +244,8 @@ class HighsBackend(SolverBackend):
         display: bool,
         presolve,
         node_limit=None,
-    ) -> Tuple[object, Optional[np.ndarray], Optional[float]]:
-        """One HiGHS run; returns ``(model_status, x, gap)``."""
+    ) -> Tuple[object, Optional[np.ndarray], Optional[float], Optional[int]]:
+        """One HiGHS run; returns ``(model_status, x, gap, nodes)``."""
         highs_cls = getattr(core, "_Highs", None) or getattr(core, "Highs")
         highs = highs_cls()
         opts = core.HighsOptions()
@@ -267,7 +267,7 @@ class HighsBackend(SolverBackend):
             sol.col_value = np.asarray(warm_vector, dtype=float)
             highs.setSolution(sol)
         if highs.run() == core.HighsStatus.kError:
-            return highs.getModelStatus(), None, None
+            return highs.getModelStatus(), None, None, None
 
         status = highs.getModelStatus()
         info = highs.getInfo()
@@ -279,7 +279,9 @@ class HighsBackend(SolverBackend):
                 x = None
         gap = getattr(info, "mip_gap", None)
         gap = float(gap) if gap is not None and np.isfinite(gap) else None
-        return status, x, gap
+        nodes = getattr(info, "mip_node_count", None)
+        nodes = int(nodes) if nodes is not None and nodes >= 0 else None
+        return status, x, gap, nodes
 
     def _solve_direct(
         self,
@@ -300,12 +302,13 @@ class HighsBackend(SolverBackend):
         sign = -1.0 if form.maximize else 1.0
 
         if not progressive or time_limit is None or slices <= 1:
-            status, x, gap = self._run_direct_once(
+            status, x, gap, nodes = self._run_direct_once(
                 core, lp, time_limit, mip_gap, warm_vector, display, presolve,
                 node_limit,
             )
             return self._interpret_direct(
-                core, form, status, x, gap, time.perf_counter() - start
+                core, form, status, x, gap, time.perf_counter() - start,
+                iterations=nodes,
             )
 
         # Progressive: spend the budget in slices, warm-starting each from
@@ -317,6 +320,7 @@ class HighsBackend(SolverBackend):
         best_x: Optional[np.ndarray] = None
         best_signed = np.inf
         last_status, last_gap = None, None
+        total_nodes: Optional[int] = None
         used_slices = 0
         stalled = False
         while True:
@@ -327,15 +331,18 @@ class HighsBackend(SolverBackend):
             # an exhausted clock reports TIME_LIMIT rather than ERROR.
             budget = min(slice_budget, max(remaining, 0.05))
             seed = best_x if best_x is not None else warm_vector
-            status, x, gap = self._run_direct_once(
+            status, x, gap, nodes = self._run_direct_once(
                 core, lp, budget, mip_gap, seed, display, presolve, node_limit
             )
             used_slices += 1
             last_status, last_gap = status, gap
+            if nodes is not None:
+                total_nodes = (total_nodes or 0) + nodes
             if status == core.HighsModelStatus.kInfeasible:
                 # Infeasibility is terminal.
                 return self._interpret_direct(
-                    core, form, status, None, gap, time.perf_counter() - start
+                    core, form, status, None, gap, time.perf_counter() - start,
+                    iterations=total_nodes,
                 )
             if x is None and status not in (
                 core.HighsModelStatus.kTimeLimit,
@@ -367,7 +374,8 @@ class HighsBackend(SolverBackend):
 
         elapsed = time.perf_counter() - start
         solution = self._interpret_direct(
-            core, form, last_status, best_x, last_gap, elapsed
+            core, form, last_status, best_x, last_gap, elapsed,
+            iterations=total_nodes,
         )
         if stalled and solution.is_feasible:
             solution = Solution(
@@ -381,11 +389,13 @@ class HighsBackend(SolverBackend):
                     f"progressive solve stalled after {used_slices} slice(s); "
                     f"{solution.message}"
                 ).strip("; "),
+                iterations=total_nodes,
             )
         return solution
 
     def _interpret_direct(
-        self, core, form, status, x, gap, elapsed: float
+        self, core, form, status, x, gap, elapsed: float,
+        iterations: Optional[int] = None,
     ) -> Solution:
         """Map a direct HiGHS run to a :class:`Solution`."""
         has_solution = x is not None
@@ -413,6 +423,7 @@ class HighsBackend(SolverBackend):
                 backend=self.name,
                 message=message,
                 gap=gap,
+                iterations=iterations,
             )
         values = self.assignment_from_vector(form, x)
         vector = np.array([values[var] for var in form.variables])
@@ -425,6 +436,7 @@ class HighsBackend(SolverBackend):
             backend=self.name,
             message=message,
             gap=gap,
+            iterations=iterations,
         )
 
     # ------------------------------------------------------------------ #
@@ -438,6 +450,8 @@ class HighsBackend(SolverBackend):
         message = str(getattr(result, "message", ""))
         gap = getattr(result, "mip_gap", None)
         gap = float(gap) if gap is not None else None
+        nodes = getattr(result, "mip_node_count", None)
+        nodes = int(nodes) if nodes is not None and np.isfinite(nodes) else None
 
         has_solution = x is not None and np.all(np.isfinite(x))
 
@@ -463,6 +477,7 @@ class HighsBackend(SolverBackend):
                 backend=self.name,
                 message=message,
                 gap=gap,
+                iterations=nodes,
             )
 
         values = self.assignment_from_vector(form, np.asarray(x, dtype=float))
@@ -476,4 +491,5 @@ class HighsBackend(SolverBackend):
             backend=self.name,
             message=message,
             gap=gap,
+            iterations=nodes,
         )

@@ -61,6 +61,10 @@ class Solution:
         Relative MIP gap if the backend reports one, ``None`` otherwise.
     message:
         Free-form diagnostic text from the backend.
+    iterations:
+        Solver effort count when the backend reports one — branch-and-bound
+        nodes explored for the bundled B&B and HiGHS direct paths, ``None``
+        when the backend exposes no such counter (e.g. SciPy's milp).
     """
 
     status: SolveStatus
@@ -70,6 +74,7 @@ class Solution:
     backend: str = ""
     gap: float | None = None
     message: str = ""
+    iterations: int | None = None
 
     @property
     def is_feasible(self) -> bool:

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.loadgen.metrics import DepthSampler, summarize
 from repro.loadgen.workload import PlannedSubmission, WorkloadSpec
+from repro.obs.metrics import histogram_quantile, parse_prometheus
 from repro.service.client import RetryPolicy, ServiceClient, ServiceError
 from repro.service.client import ServiceUnavailableError
 from repro.service.daemon import LayoutService
@@ -92,6 +93,14 @@ class LoadReport:
     lost_jobs: List[str] = field(default_factory=list)
     server_stats: Dict[str, object] = field(default_factory=dict)
     jobs_listing: Dict[str, object] = field(default_factory=dict)
+    #: Final ``GET /metrics`` Prometheus exposition (empty if the scrape
+    #: failed — which fails the metrics reconciliation checks).
+    metrics_text: str = ""
+    #: Error from the mid-run ``/metrics`` scrape, or ``None`` if it was
+    #: parse-clean while the daemon was still settling work.
+    metrics_midrun_error: Optional[str] = None
+    #: ``GET /jobs/{hash}/trace`` of one solved job (span-tree sample).
+    trace_sample: Dict[str, object] = field(default_factory=dict)
 
     # -------------------------------------------------------------- #
 
@@ -133,8 +142,115 @@ class LoadReport:
             "lost_jobs": {"client": len(self.lost_jobs), "server": 0},
             "submit_errors": {"client": len(self.submit_errors), "server": 0},
         }
+        checks.update(self._metrics_checks(stats))
         for check in checks.values():
-            check["ok"] = check["client"] == check["server"]
+            check.setdefault("ok", check["client"] == check["server"])
+        return checks
+
+    def _histogram(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Optional[Dict[str, object]]:
+        """Cumulative buckets / count / sum of one server-side histogram,
+        recovered from the scraped ``/metrics`` exposition."""
+        if not self.metrics_text:
+            return None
+        try:
+            families = parse_prometheus(self.metrics_text)
+        except ValueError:
+            return None
+        family = families.get(name)
+        if not family:
+            return None
+        wanted = labels or {}
+        buckets: List[List[float]] = []
+        count = 0
+        total = 0.0
+        for sample in family["samples"]:
+            sample_labels = dict(sample["labels"])
+            le = sample_labels.pop("le", None)
+            if sample_labels != wanted:
+                continue
+            if sample["name"].endswith("_bucket") and le is not None:
+                bound = float("inf") if le == "+Inf" else float(le)
+                buckets.append([bound, sample["value"]])
+            elif sample["name"].endswith("_sum"):
+                total = float(sample["value"])
+            elif sample["name"].endswith("_count"):
+                count = int(sample["value"])
+        buckets.sort(key=lambda pair: pair[0])
+        return {"buckets": buckets, "count": count, "sum": total}
+
+    def _metrics_checks(
+        self, stats: Dict[str, object]
+    ) -> Dict[str, Dict[str, object]]:
+        """Server-histogram reconciliation (tolerance, not unit-exact).
+
+        * every settlement (and admission-time cache serve) lands exactly
+          one histogram observation,
+        * the per-stage decomposition (``queue_wait + solve + overhead``)
+          sums back to the end-to-end latency histogram,
+        * client-observed settle percentiles fall inside the server
+          histogram's quantile bucket bounds,
+        * the mid-run scrape was parse-clean.
+        """
+        checks: Dict[str, Dict[str, object]] = {
+            "metrics_midrun_scrape": {
+                "client": self.metrics_midrun_error or "parse-clean",
+                "server": "parse-clean",
+            }
+        }
+        latency = self._histogram("rfic_job_latency_seconds")
+        cache_serve = self._histogram("rfic_cache_serve_seconds")
+        if latency is None or cache_serve is None:
+            checks["metrics_latency_count"] = {
+                "client": "no /metrics exposition captured",
+                "server": None,
+                "ok": False,
+            }
+            return checks
+        settled_server = (
+            (stats.get("solved") or 0)
+            + (stats.get("served_from_cache") or 0)
+            + (stats.get("failures") or 0)
+        )
+        checks["metrics_latency_count"] = {
+            "client": latency["count"] + cache_serve["count"],
+            "server": settled_server,
+        }
+        stage_sum = 0.0
+        for stage in ("queue_wait", "solve", "overhead"):
+            hist = self._histogram(
+                "rfic_job_stage_seconds", labels={"stage": stage}
+            )
+            stage_sum += hist["sum"] if hist else 0.0
+        tolerance = max(0.05, 0.02 * latency["sum"])
+        checks["metrics_stage_attribution"] = {
+            "client": round(stage_sum, 3),
+            "server": round(latency["sum"], 3),
+            "ok": abs(stage_sum - latency["sum"]) <= tolerance,
+        }
+        summary = summarize(self.settle_latencies_s)
+        for quantile, label in ((0.5, "p50"), (0.95, "p95")):
+            observed = summary.get(label)
+            if not summary.get("count") or observed is None:
+                continue
+            # Slack of ±5 percentile points absorbs client-side percentile
+            # interpolation and the failure observations the server
+            # histogram carries but the client settle list does not.
+            low = histogram_quantile(
+                latency["buckets"], latency["count"], max(0.0, quantile - 0.05)
+            )
+            high = histogram_quantile(
+                latency["buckets"], latency["count"], min(1.0, quantile + 0.05)
+            )
+            if low is None or high is None:
+                continue
+            lower, upper = low[0], high[1]
+            checks[f"metrics_settle_{label}_bounds"] = {
+                "client": round(observed, 6),
+                "server": [round(lower, 6), upper if upper != float("inf") else "+Inf"],
+                "ok": lower - 1e-9 <= observed <= upper + 1e-9,
+            }
         return checks
 
     @property
@@ -190,6 +306,8 @@ class LoadReport:
             "lost_jobs": list(self.lost_jobs),
             "server_stats": self.server_stats,
             "jobs_listing": self.jobs_listing,
+            "metrics_midrun_error": self.metrics_midrun_error,
+            "trace_sample": self.trace_sample,
             "reconciliation": self.reconcile(),
             "ok": self.ok,
         }
@@ -417,6 +535,15 @@ def run_load_test(
         submit_wall = time.monotonic() - t_start
         tally.finish()
 
+        # Mid-run scrape: the Prometheus exposition must be parse-clean
+        # while the daemon is still settling work, not only at rest.
+        probe = ServiceClient(base_url, timeout=config.submit_timeout, retry_seed=0)
+        metrics_midrun_error: Optional[str] = None
+        try:
+            parse_prometheus(probe.metrics_text())
+        except (ServiceError, ValueError) as exc:
+            metrics_midrun_error = f"{type(exc).__name__}: {exc}"
+
         # Settlement: every admitted hash must reach a terminal state.
         deadline = time.monotonic() + config.settle_timeout
         lost: List[str] = []
@@ -478,8 +605,33 @@ def run_load_test(
         for watcher in watchers:
             watcher.join(timeout=10.0)
 
-        probe = ServiceClient(base_url, timeout=config.submit_timeout, retry_seed=0)
         server_stats = probe.stats()
+        # Final scrape feeds the histogram reconciliation checks; an
+        # unparsable exposition leaves metrics_text empty, failing them.
+        metrics_text = ""
+        try:
+            metrics_text = probe.metrics_text()
+            parse_prometheus(metrics_text)
+        except (ServiceError, ValueError) as exc:
+            metrics_text = ""
+            if metrics_midrun_error is None:
+                metrics_midrun_error = (
+                    f"final scrape: {type(exc).__name__}: {exc}"
+                )
+        # Sample one solved job's span tree (the end-to-end trace check).
+        trace_sample: Dict[str, object] = {}
+        for key in unique_keys:
+            sampled = service.queue.get(key)
+            if (
+                sampled is not None
+                and sampled.state == "done"
+                and sampled.started_unix is not None
+            ):
+                try:
+                    trace_sample = probe.trace(key)
+                except ServiceError:
+                    pass
+                break
         # Exercise the bounded /jobs listing the way a dashboard would.
         listing = probe.jobs_page(state="done", limit=25)
         jobs_listing = {
@@ -512,5 +664,8 @@ def run_load_test(
         lost_jobs=lost,
         server_stats=server_stats,
         jobs_listing=jobs_listing,
+        metrics_text=metrics_text,
+        metrics_midrun_error=metrics_midrun_error,
+        trace_sample=trace_sample,
     )
     return report

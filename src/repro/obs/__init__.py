@@ -1,0 +1,25 @@
+"""Dependency-free observability: metrics registry, tracing, JSON logging.
+
+The package deliberately avoids any third-party dependency and any
+background thread.  Metrics are plain locked numbers, spans are
+monotonic-clock pairs, and the logger writes one JSON object per line.
+Everything is off by default: a process that never scrapes ``/metrics``
+or configures the logger pays only a handful of dict updates per job.
+"""
+
+from repro.obs.metrics import (  # noqa: F401
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    histogram_quantile,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.trace import (  # noqa: F401
+    CLOCK,
+    TRACE_HEADER,
+    JobTrace,
+    Span,
+    TraceStore,
+    mint_trace_id,
+)
+from repro.obs.logging import LOG, JsonLogger  # noqa: F401

@@ -1,0 +1,89 @@
+"""Structured JSON-lines logging for the service tier.
+
+One module-global :data:`LOG` instance, disabled until something calls
+:meth:`JsonLogger.configure`.  When disabled, :meth:`JsonLogger.log` is
+a single attribute check — the daemon/scheduler/pool call sites cost
+nothing in library use or tests that never turn logging on.
+
+Every line is one JSON object carrying at minimum ``ts``, ``level``,
+``event``, plus ``trace``/``key`` when the call site has them; the job
+key is shortened to the same 12-char prefix the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import IO, Optional
+
+__all__ = ["LOG", "JsonLogger", "KEY_PREFIX_LEN"]
+
+KEY_PREFIX_LEN = 12
+
+
+class JsonLogger:
+    """Thread-safe JSON-lines logger writing to a stream and/or a file."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stream: Optional[IO[str]] = None
+        self._file: Optional[IO[str]] = None
+        self.enabled = False
+
+    def configure(self, stream: Optional[IO[str]] = None,
+                  path: Optional[str] = None) -> None:
+        """Enable logging to ``stream`` (default stderr) and/or ``path``."""
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+                self._file = None
+            self._stream = stream if stream is not None else sys.stderr
+            if path:
+                self._file = open(path, "a", encoding="utf-8")
+            self.enabled = True
+
+    def disable(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+                self._file = None
+            self._stream = None
+            self.enabled = False
+
+    def log(self, event: str, level: str = "info", trace: str = "",
+            key: str = "", **fields: object) -> None:
+        if not self.enabled:
+            return
+        record = {"ts": round(time.time(), 6), "level": level, "event": event}
+        if trace:
+            record["trace"] = trace
+        if key:
+            record["key"] = key[:KEY_PREFIX_LEN]
+        for name, value in fields.items():
+            if value is not None:
+                record[name] = value
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            if not self.enabled:
+                return
+            for sink in (self._stream, self._file):
+                if sink is None:
+                    continue
+                try:
+                    sink.write(line + "\n")
+                    sink.flush()
+                except (OSError, ValueError):
+                    # A torn pipe or closed file must never take the
+                    # service down; logging is best-effort.
+                    pass
+
+
+LOG = JsonLogger()

@@ -1,0 +1,445 @@
+"""In-process metrics registry with Prometheus text exposition.
+
+Three metric kinds — counters, gauges, and fixed-bucket histograms —
+share a single registry-wide lock, so any individual update is atomic
+*and* a :meth:`MetricsRegistry.snapshot` observes a mutually coherent
+point in time across every family.  That coherence is what lets
+``/stats`` and ``/metrics`` be derived from the same snapshot and never
+disagree mid-scrape.
+
+The exposition side (:func:`render_prometheus`) emits text format 0.0.4
+(``# HELP``/``# TYPE`` comments, cumulative ``_bucket{le=...}`` series
+ending at ``+Inf``).  :func:`parse_prometheus` is the strict inverse
+used by the load harness and CI to assert the output is parse-clean.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "histogram_quantile",
+    "parse_prometheus",
+    "render_prometheus",
+]
+
+# Latency buckets spanning sub-millisecond admission work up to the
+# two-minute job-timeout ceiling.  The bucket layout is part of the
+# snapshot schema (see ROADMAP "Observability"): changing it invalidates
+# cross-run histogram diffs, so extend it only by appending.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> LabelSet:
+    if not labels:
+        return ()
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name: {name!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonic counter bound to one label set of a family."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Settable instantaneous value bound to one label set."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram bound to one label set."""
+
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, lock: threading.Lock, bounds: Sequence[float]) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self._lock = lock
+        self._bounds = ordered
+        self._counts = [0] * (len(ordered) + 1)  # final slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            slot = len(self._bounds)
+            for i, bound in enumerate(self._bounds):
+                if value <= bound:
+                    slot = i
+                    break
+            self._counts[slot] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        return self._bounds
+
+    def snapshot(self) -> Dict[str, object]:
+        """Cumulative ``[le, count]`` pairs plus sum/count, atomically."""
+        with self._lock:
+            cumulative: List[List[float]] = []
+            running = 0
+            for bound, count in zip(self._bounds, self._counts):
+                running += count
+                cumulative.append([bound, running])
+            running += self._counts[-1]
+            cumulative.append([math.inf, running])
+            return {"buckets": cumulative, "sum": self._sum, "count": self._count}
+
+
+class _Family:
+    __slots__ = ("name", "kind", "help", "bounds", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 bounds: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.bounds = tuple(bounds) if bounds is not None else None
+        self.children: Dict[LabelSet, object] = {}
+
+
+class MetricsRegistry:
+    """Registry of metric families sharing one lock.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: calling them
+    twice with the same name (and labels) returns the same instance, so
+    call sites never need to coordinate registration order.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- registration -------------------------------------------------- #
+
+    def _family(self, name: str, kind: str, help_text: str,
+                bounds: Optional[Sequence[float]] = None) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, bounds)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Optional[Dict[str, str]] = None) -> Counter:
+        family = self._family(name, "counter", help_text)
+        key = _label_key(labels)
+        with self._lock:
+            child = family.children.get(key)
+            if child is None:
+                child = Counter(self._lock)
+                family.children[key] = child
+            return child  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Optional[Dict[str, str]] = None) -> Gauge:
+        family = self._family(name, "gauge", help_text)
+        key = _label_key(labels)
+        with self._lock:
+            child = family.children.get(key)
+            if child is None:
+                child = Gauge(self._lock)
+                family.children[key] = child
+            return child  # type: ignore[return-value]
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  labels: Optional[Dict[str, str]] = None) -> Histogram:
+        family = self._family(name, "histogram", help_text, buckets)
+        if family.bounds != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        key = _label_key(labels)
+        with self._lock:
+            child = family.children.get(key)
+            if child is None:
+                child = Histogram(self._lock, buckets)
+                family.children[key] = child
+            return child  # type: ignore[return-value]
+
+    # -- snapshot ------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """One coherent point-in-time view of every family.
+
+        Holding the registry lock while copying means no update can land
+        between two families — the returned dict is internally consistent.
+        """
+        with self._lock:
+            out: Dict[str, Dict[str, object]] = {}
+            for name, family in sorted(self._families.items()):
+                samples: List[Dict[str, object]] = []
+                for key, child in sorted(family.children.items()):
+                    labels = {k: v for k, v in key}
+                    if family.kind == "histogram":
+                        hist = child  # type: ignore[assignment]
+                        # Inline the Histogram.snapshot body: the shared
+                        # lock is not re-entrant.
+                        cumulative: List[List[float]] = []
+                        running = 0
+                        for bound, count in zip(hist._bounds, hist._counts):
+                            running += count
+                            cumulative.append([bound, running])
+                        running += hist._counts[-1]
+                        cumulative.append([math.inf, running])
+                        samples.append({
+                            "labels": labels,
+                            "buckets": cumulative,
+                            "sum": hist._sum,
+                            "count": hist._count,
+                        })
+                    else:
+                        samples.append({
+                            "labels": labels,
+                            "value": child._value,  # type: ignore[union-attr]
+                        })
+                out[name] = {
+                    "kind": family.kind,
+                    "help": family.help,
+                    "samples": samples,
+                }
+            return out
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text exposition (format 0.0.4)
+# ---------------------------------------------------------------------- #
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\"", "\\\"").replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Dict[str, str],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    parts = [
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    ]
+    if extra is not None:
+        parts.append(f'{extra[0]}="{_escape_label_value(extra[1])}"')
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Render a registry snapshot as Prometheus text format 0.0.4."""
+    lines: List[str] = []
+    for name, family in snapshot.items():
+        kind = str(family["kind"])
+        help_text = str(family.get("help", ""))
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:  # type: ignore[union-attr]
+            labels: Dict[str, str] = dict(sample.get("labels", {}))
+            if kind == "histogram":
+                for bound, count in sample["buckets"]:
+                    le = _format_value(float(bound))
+                    label_str = _format_labels(labels, ("le", le))
+                    lines.append(f"{name}_bucket{label_str} {int(count)}")
+                label_str = _format_labels(labels)
+                lines.append(
+                    f"{name}_sum{label_str} "
+                    f"{_format_value(float(sample['sum']))}"
+                )
+                lines.append(f"{name}_count{label_str} {int(sample['count'])}")
+            else:
+                label_str = _format_labels(labels)
+                lines.append(
+                    f"{name}{label_str} "
+                    f"{_format_value(float(sample['value']))}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _parse_number(token: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    return float(token)
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, object]]:
+    """Strictly parse Prometheus text exposition.
+
+    Returns ``{family: {"kind", "samples": [{"name", "labels", "value"}]}}``
+    where sample names keep their ``_bucket``/``_sum``/``_count`` suffixes.
+    Raises :class:`ValueError` on any malformed line — the harness uses
+    this to assert a scrape is parse-clean.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    types: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                # Other comments are permitted by the format.
+                if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                    raise ValueError(f"line {lineno}: malformed {parts[1]}")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ValueError(f"line {lineno}: malformed TYPE: {raw!r}")
+                types[parts[2]] = parts[3]
+                families.setdefault(
+                    parts[2], {"kind": parts[3], "samples": []}
+                )
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {raw!r}")
+        sample_name = match.group("name")
+        labels: Dict[str, str] = {}
+        label_blob = match.group("labels")
+        if label_blob:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(label_blob):
+                labels[pair.group("name")] = (
+                    pair.group("value")
+                    .replace('\\"', '"')
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\")
+                )
+                consumed = pair.end()
+            if consumed < len(label_blob.rstrip()):
+                raise ValueError(f"line {lineno}: malformed labels: {raw!r}")
+        try:
+            value = _parse_number(match.group("value"))
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad value: {raw!r}") from None
+        family_name = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                family_name = base
+                break
+        family = families.setdefault(
+            family_name, {"kind": types.get(family_name, "untyped"), "samples": []}
+        )
+        family["samples"].append(  # type: ignore[union-attr]
+            {"name": sample_name, "labels": labels, "value": value}
+        )
+    return families
+
+
+def histogram_quantile(
+    buckets: Iterable[Sequence[float]], count: int, q: float
+) -> Optional[Tuple[float, float]]:
+    """Bucket bounds ``(lower, upper)`` containing the q-quantile.
+
+    ``buckets`` is the cumulative ``[le, count]`` list from a histogram
+    snapshot.  Returns ``None`` for an empty histogram.  The upper bound
+    of the final bucket is ``inf`` — callers comparing client-observed
+    percentiles should treat that as "no upper constraint".
+    """
+    if count <= 0:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be within [0, 1]")
+    rank = q * count
+    lower = 0.0
+    for bound, cumulative in buckets:
+        if cumulative >= rank and cumulative > 0:
+            return (lower, float(bound))
+        lower = float(bound)
+    return (lower, math.inf)

@@ -1,0 +1,183 @@
+"""Request tracing: trace IDs, span trees, and an injectable clock.
+
+A trace ID is minted at admission (or accepted from an ``X-Trace-Id``
+header) and rides the journal record, every SSE event, and the pickled
+job across the fork boundary.  Spans are monotonic-clock pairs — a wall
+start stamp for display plus a ``perf_counter`` delta for duration — so
+recording one costs two clock reads and a dict append; no threads, no
+sampling machinery.
+
+Tests make span timings deterministic through :data:`CLOCK`, the same
+module-global injection-point pattern as ``repro.faults.FAULTS``:
+``CLOCK.install(wall=..., monotonic=...)`` swaps both clock sources,
+``CLOCK.clear()`` restores the real ones.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "CLOCK",
+    "TRACE_HEADER",
+    "JobTrace",
+    "Span",
+    "TraceClock",
+    "TraceStore",
+    "mint_trace_id",
+]
+
+TRACE_HEADER = "X-Trace-Id"
+
+
+class TraceClock:
+    """Injectable pair of clock sources (wall + monotonic).
+
+    Mirrors the ``repro.faults.FAULTS`` pattern: a module global that is
+    inert by default and swapped wholesale in tests.  ``install`` is not
+    meant for production use — real deployments always run on the real
+    clocks.
+    """
+
+    def __init__(self) -> None:
+        self._wall: Optional[Callable[[], float]] = None
+        self._monotonic: Optional[Callable[[], float]] = None
+
+    def install(self, wall: Optional[Callable[[], float]] = None,
+                monotonic: Optional[Callable[[], float]] = None) -> None:
+        self._wall = wall
+        self._monotonic = monotonic
+
+    def clear(self) -> None:
+        self._wall = None
+        self._monotonic = None
+
+    @property
+    def installed(self) -> bool:
+        return self._wall is not None or self._monotonic is not None
+
+    def time(self) -> float:
+        if self._wall is not None:
+            return self._wall()
+        return time.time()
+
+    def perf(self) -> float:
+        if self._monotonic is not None:
+            return self._monotonic()
+        return time.perf_counter()
+
+
+CLOCK = TraceClock()
+
+
+def mint_trace_id() -> str:
+    """16 hex chars — short enough for log lines, unique enough per run."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class Span:
+    """One timed stage of a job's lifecycle."""
+
+    name: str
+    start_unix: float
+    duration_s: float
+    parent: str = ""
+    detail: str = ""
+    truncated: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "name": self.name,
+            "start_unix": round(self.start_unix, 6),
+            "duration_s": round(self.duration_s, 6),
+        }
+        if self.parent:
+            doc["parent"] = self.parent
+        if self.detail:
+            doc["detail"] = self.detail
+        if self.truncated:
+            doc["truncated"] = True
+        return doc
+
+
+@dataclass
+class JobTrace:
+    """Span tree accumulated for one job key."""
+
+    key: str
+    trace_id: str
+    label: str = ""
+    spans: List[Span] = field(default_factory=list)
+    settled: bool = False
+
+
+class TraceStore:
+    """Bounded in-memory map of job key -> span tree.
+
+    ``begin`` is idempotent so replayed or re-dispatched jobs keep their
+    accumulated spans.  Settled traces beyond ``limit`` are evicted
+    oldest-first; live (unsettled) traces are never dropped.
+    """
+
+    def __init__(self, limit: int = 2048) -> None:
+        self._limit = max(1, int(limit))
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, JobTrace]" = OrderedDict()
+
+    def begin(self, key: str, trace_id: str, label: str = "") -> JobTrace:
+        with self._lock:
+            trace = self._traces.get(key)
+            if trace is None:
+                trace = JobTrace(key=key, trace_id=trace_id, label=label)
+                self._traces[key] = trace
+            else:
+                if trace_id:
+                    trace.trace_id = trace_id
+                if label and not trace.label:
+                    trace.label = label
+                # A job re-entering the pipeline (resubmitted after a
+                # failure, or requeued) accumulates into the same tree.
+                trace.settled = False
+            return trace
+
+    def span(self, key: str, name: str, start_unix: float, duration_s: float,
+             parent: str = "", detail: str = "", truncated: bool = False) -> None:
+        with self._lock:
+            trace = self._traces.get(key)
+            if trace is None:
+                return
+            trace.spans.append(Span(
+                name=name,
+                start_unix=float(start_unix),
+                duration_s=max(0.0, float(duration_s)),
+                parent=parent,
+                detail=detail,
+                truncated=truncated,
+            ))
+
+    def get(self, key: str) -> Optional[JobTrace]:
+        with self._lock:
+            return self._traces.get(key)
+
+    def settle(self, key: str) -> None:
+        with self._lock:
+            trace = self._traces.get(key)
+            if trace is not None:
+                trace.settled = True
+            if len(self._traces) > self._limit:
+                for stale_key in [
+                    k for k, t in self._traces.items() if t.settled
+                ]:
+                    if len(self._traces) <= self._limit:
+                        break
+                    del self._traces[stale_key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)

@@ -87,6 +87,9 @@ class CachedResult:
     directory: Path
     manifest: Dict[str, object]
     summary: Dict[str, object] = field(default_factory=dict)
+    #: Per-stage cost breakdown stored with the entry (absent in entries
+    #: written before profiles existed — treat ``None`` as "not recorded").
+    profile: Optional[Dict[str, object]] = None
 
     @property
     def layout_path(self) -> Path:
@@ -178,6 +181,7 @@ class ResultCache:
             directory=directory,
             manifest=manifest,
             summary=dict(metrics.get("summary", {})),
+            profile=metrics.get("profile"),
         )
 
     def put(self, job: LayoutJob, result: FlowResult) -> Optional[CachedResult]:
@@ -244,7 +248,11 @@ class ResultCache:
             save_layout(result.layout, staging / LAYOUT_FILE)
             _write_json(
                 staging / METRICS_FILE,
-                {"summary": result.summary(), "phases": result.phase_table()},
+                {
+                    "summary": result.summary(),
+                    "phases": result.phase_table(),
+                    "profile": result.profile(),
+                },
             )
             _write_json(
                 staging / MANIFEST_FILE,
@@ -304,6 +312,7 @@ class ResultCache:
                     directory=directory,
                     manifest=manifest,
                     summary=dict(metrics.get("summary", {})),
+                    profile=metrics.get("profile"),
                 )
 
 

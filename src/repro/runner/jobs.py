@@ -105,6 +105,11 @@ class LayoutJob:
     tag:
         Free-form salt that *is* part of the hash.  Lets callers force
         distinct cache entries for otherwise identical jobs.
+    trace_id:
+        Observability correlation ID carried across the fork boundary into
+        the worker.  Pure metadata: not part of the hash (``canonical_dict``
+        lists its keys explicitly), so the same job submitted under two
+        trace IDs still shares one cache entry.
     """
 
     flow: str = "pilp"
@@ -114,6 +119,7 @@ class LayoutJob:
     label: Optional[str] = None
     variant: str = ""
     tag: str = ""
+    trace_id: str = ""
 
     def __post_init__(self) -> None:
         if self.flow not in JOB_FLOWS:

@@ -37,6 +37,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.core.result import FlowResult
 from repro.faults import FAULTS
+from repro.obs.logging import LOG
+from repro.obs.trace import CLOCK
 from repro.layout.drc import run_drc
 from repro.layout.export_json import layout_from_dict, layout_to_dict
 from repro.layout.metrics import compute_metrics
@@ -85,6 +87,11 @@ class JobOutcome:
     entry: Optional[CachedResult] = None
     layout_doc: Optional[Mapping[str, object]] = None
     phases: List[Dict[str, object]] = field(default_factory=list)
+    #: Per-stage cost breakdown (``FlowResult.profile()`` shape) when the
+    #: run produced one — cached outcomes reload it from the entry.
+    profile: Optional[Dict[str, object]] = None
+    #: Trace ID the job carried across the fork boundary ("" when untraced).
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -144,14 +151,19 @@ def _child_main(job: LayoutJob, cache_root: Optional[str], conn) -> None:
     try:
         FAULTS.act("worker.run")
         result = job.run()
+        profile = result.profile()
         payload: Dict[str, object] = {
             "summary": result.summary(),
             "phases": result.phase_table(),
             "runtime": result.runtime,
+            "trace": getattr(job, "trace_id", ""),
         }
         entry = None
         if cache_root is not None:
+            put_started = CLOCK.perf()
             entry = ResultCache(cache_root).put(job, result)
+            profile["cache_put_s"] = round(CLOCK.perf() - put_started, 6)
+        payload["profile"] = profile
         if entry is None:
             # No cache, or the store failed (full disk): the layout must
             # travel over the pipe or the solve would be lost with it.
@@ -248,6 +260,8 @@ class WorkerPool:
                 entry=source.entry,
                 layout_doc=source.layout_doc,
                 phases=source.phases,
+                profile=source.profile,
+                trace_id=getattr(jobs[index], "trace_id", "") or source.trace_id,
             )
         return [outcomes[index] for index in range(len(jobs))]
 
@@ -284,9 +298,17 @@ class WorkerPool:
                         status="failed",
                         runtime=time.perf_counter() - started,
                         error=f"{type(exc).__name__}: {exc}",
+                        trace_id=getattr(job, "trace_id", ""),
                     )
                 else:
-                    entry = self.cache.put(job, result) if self.cache is not None else None
+                    profile = result.profile()
+                    entry = None
+                    if self.cache is not None:
+                        put_started = CLOCK.perf()
+                        entry = self.cache.put(job, result)
+                        profile["cache_put_s"] = round(
+                            CLOCK.perf() - put_started, 6
+                        )
                     outcome = JobOutcome(
                         job=job,
                         status="completed",
@@ -295,6 +317,8 @@ class WorkerPool:
                         entry=entry,
                         layout_doc=None if entry else layout_to_dict(result.layout),
                         phases=result.phase_table(),
+                        profile=profile,
+                        trace_id=getattr(job, "trace_id", ""),
                     )
             outcomes[index] = self._settle(outcome, progress)
             if stop_when and stop_when(outcome):
@@ -414,17 +438,38 @@ class WorkerPool:
                     entry=entry,
                     layout_doc=payload.get("layout"),
                     phases=list(payload["phases"]),
+                    profile=payload.get("profile"),
+                    trace_id=str(payload.get("trace", "")),
                 )
+            LOG.log(
+                "worker.failed",
+                level="error",
+                trace=getattr(state.job, "trace_id", ""),
+                key=state.job.content_hash,
+                error=str(payload),
+            )
             return JobOutcome(
-                job=state.job, status="failed", runtime=elapsed, error=str(payload)
+                job=state.job,
+                status="failed",
+                runtime=elapsed,
+                error=str(payload),
+                trace_id=getattr(state.job, "trace_id", ""),
             )
         if state.deadline is not None and now > state.deadline:
             _terminate(state.process)
+            LOG.log(
+                "worker.timeout",
+                level="warning",
+                trace=getattr(state.job, "trace_id", ""),
+                key=state.job.content_hash,
+                timeout_s=self.job_timeout,
+            )
             return JobOutcome(
                 job=state.job,
                 status="timeout",
                 runtime=elapsed,
                 error=f"timed out after {self.job_timeout:.1f}s",
+                trace_id=getattr(state.job, "trace_id", ""),
             )
         if not state.process.is_alive():
             # Died without a message so far.  The result may still be in
@@ -436,11 +481,19 @@ class WorkerPool:
                 return None
             if now - state.dead_since < 0.5:
                 return None
+            LOG.log(
+                "worker.crashed",
+                level="error",
+                trace=getattr(state.job, "trace_id", ""),
+                key=state.job.content_hash,
+                exit_code=state.process.exitcode,
+            )
             return JobOutcome(
                 job=state.job,
                 status="failed",
                 runtime=elapsed,
                 error=f"worker crashed (exit code {state.process.exitcode})",
+                trace_id=getattr(state.job, "trace_id", ""),
             )
         return None
 
@@ -460,6 +513,8 @@ class WorkerPool:
             summary=dict(entry.summary),
             runtime=float(entry.summary.get("runtime_s", 0.0)),
             entry=entry,
+            profile=entry.profile,
+            trace_id=getattr(job, "trace_id", ""),
         )
 
     def _settle(

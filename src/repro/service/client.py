@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import ReproError
+from repro.obs.trace import TRACE_HEADER
 from repro.runner.jobs import LayoutJob
 from repro.runner.pool import JobOutcome
 from repro.service.documents import job_to_document
@@ -162,16 +163,20 @@ class ServiceClient:
         payload: Optional[dict] = None,
         timeout: Optional[float] = None,
         deadline_s: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ):
         """One HTTP attempt (no retries — that is :meth:`_json`'s job)."""
         url = f"{self.base_url}{path}"
         data = None
+        extra = headers
         headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         if deadline_s is not None:
             headers["X-Deadline-S"] = f"{deadline_s:.3f}"
+        if extra:
+            headers.update(extra)
         request = urllib.request.Request(url, data=data, headers=headers)
         try:
             return urllib.request.urlopen(request, timeout=timeout or self.timeout)
@@ -208,6 +213,7 @@ class ServiceClient:
         path: str,
         payload: Optional[dict] = None,
         deadline: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> dict:
         """A JSON request with retries, breaker, and deadline propagation.
 
@@ -235,7 +241,8 @@ class ServiceClient:
                 if remaining is not None:
                     timeout = max(0.05, min(timeout, remaining))
                 with self._request(
-                    path, payload, timeout=timeout, deadline_s=remaining
+                    path, payload, timeout=timeout, deadline_s=remaining,
+                    headers=headers,
                 ) as response:
                     result = json.loads(response.read().decode("utf-8"))
             except (
@@ -288,14 +295,20 @@ class ServiceClient:
         priority: Optional[str] = None,
         client: Optional[str] = None,
         deadline: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, object]:
-        """POST one submission; returns the record (or ``{"jobs": [...]}``)."""
+        """POST one submission; returns the record (or ``{"jobs": [...]}``).
+
+        ``trace_id`` rides the ``X-Trace-Id`` header so the server stitches
+        this submission into a caller-chosen trace instead of minting one.
+        """
         payload = dict(document)
         if priority is not None:
             payload["priority"] = priority
         if client is not None:
             payload["client"] = client
-        return self._json("/jobs", payload, deadline=deadline)
+        headers = {TRACE_HEADER: trace_id} if trace_id else None
+        return self._json("/jobs", payload, deadline=deadline, headers=headers)
 
     def submit_job(
         self,
@@ -334,6 +347,15 @@ class ServiceClient:
 
     def stats(self) -> Dict[str, object]:
         return self._json("/stats")
+
+    def metrics_text(self) -> str:
+        """Raw ``GET /metrics`` Prometheus text exposition."""
+        with self._request("/metrics") as response:
+            return response.read().decode("utf-8")
+
+    def trace(self, key: str) -> Dict[str, object]:
+        """The job's span tree (``GET /jobs/{hash}/trace``)."""
+        return self._json(f"/jobs/{key}/trace")
 
     def layout_document(self, key: str) -> Dict[str, object]:
         return self._json(f"/jobs/{key}/layout.json")

@@ -17,6 +17,7 @@ import threading
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.obs.logging import LOG
 from repro.runner.cache import ResultCache
 from repro.service.http import LayoutHTTPServer, make_server
 from repro.service.queue import JobQueue
@@ -65,6 +66,13 @@ class LayoutService:
 
     def start(self) -> None:
         """Start dispatching (journal-replayed jobs begin immediately)."""
+        LOG.log(
+            "daemon.start",
+            data_dir=str(self.data_dir),
+            replayed=self.scheduler._replayed,
+            dispatchers=self.scheduler.concurrency,
+            pool_workers=self.scheduler.runner.workers,
+        )
         self.scheduler.start()
 
     def bind(
@@ -120,5 +128,7 @@ class LayoutService:
         only then does the HTTP server stop, so in-flight status queries
         and event streams end cleanly rather than on a dead socket.
         """
+        LOG.log("daemon.drain", timeout_s=timeout)
         self.scheduler.drain(timeout=timeout)
         self._close_server()
+        LOG.log("daemon.stopped")

@@ -29,9 +29,18 @@ Endpoints
     header) to skip the history it has already seen.  Only the *replay* is
     filtered — live events always flow, because ``seq`` restarts each
     daemon epoch.  Event schema: see :mod:`repro.service.scheduler`.
+``GET /jobs/{hash}/trace``
+    The job's span tree: admission, queue wait, dispatch, worker fork,
+    per-solve-phase, DRC and cache-put spans with wall-clock start stamps
+    and durations.  Jobs from previous daemon epochs get a tree
+    synthesized from journal timestamps, every span marked ``truncated``.
 ``GET /stats``
     Queue depth and per-state counts, scheduler counters, admission /
     supervision counters, cache hit/miss statistics, journal health.
+    Derived from the same registry snapshot as ``GET /metrics``.
+``GET /metrics``
+    Prometheus text exposition (version 0.0.4) of the metrics registry:
+    job/admission counters, queue gauges and latency/stage histograms.
 ``GET /healthz``
     Liveness: always ``200``; the body carries degradation flags
     (journal/cache write failures) and supervision counters.
@@ -60,6 +69,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError, ReproError
 from repro.layout.export_json import load_layout
 from repro.layout.export_svg import layout_to_svg
+from repro.obs.metrics import render_prometheus
+from repro.obs.trace import TRACE_HEADER
 from repro.service.documents import DEFAULT_CLIENT, expand_submission
 from repro.service.queue import JobRecord
 from repro.service.scheduler import (
@@ -145,6 +156,12 @@ class _Handler(BaseHTTPRequestHandler):
             path = raw_path.rstrip("/") or "/"
             if path == "/stats":
                 self._send_json(self.scheduler.stats())
+            elif path == "/metrics":
+                text = render_prometheus(self.scheduler.metrics_snapshot())
+                self._send_bytes(
+                    text.encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             elif path == "/":
                 self._send_json({"service": "rfic-layout", "ok": True})
             elif path == "/healthz":
@@ -241,15 +258,25 @@ class _Handler(BaseHTTPRequestHandler):
             return
         priority = submission.pop("priority", None)
         client = str(submission.pop("client", DEFAULT_CLIENT))
+        trace_header = self.headers.get(TRACE_HEADER)
         results: List[Tuple[JobRecord, str]] = []
         saturated: Optional[QueueSaturated] = None
         try:
             documents = expand_submission(submission)
-            for document in documents:
+            for index, document in enumerate(documents):
+                # A sweep shares the caller's trace ID as a prefix; each
+                # expanded job still gets a distinct ID so its spans don't
+                # interleave with its siblings'.
+                trace_id = trace_header
+                if trace_header and index:
+                    trace_id = f"{trace_header}-{index}"
                 try:
                     results.append(
                         self.scheduler.submit(
-                            document, priority=priority, client=client
+                            document,
+                            priority=priority,
+                            client=client,
+                            trace_id=trace_id,
                         )
                     )
                 except QueueSaturated as exc:
@@ -300,6 +327,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(record.status_dict())
         elif parts[1:] == ["events"]:
             self._stream_events(key, after=self._resume_cursor(query))
+        elif parts[1:] == ["trace"]:
+            self._send_json(self.scheduler.trace_document(record))
         elif parts[1:] == ["layout.json"]:
             entry = self._entry_or_404(key, record.state)
             if entry is not None:
@@ -392,6 +421,7 @@ def _synthetic_terminal_event(key: str, record: JobRecord) -> Dict[str, object]:
         "state": record.state,
         "detail": record.error or "",
         "runtime": round(record.runtime, 3),
+        "trace": record.trace_id,
     }
 
 

@@ -86,6 +86,7 @@ class JobRecord:
     summary: Optional[Dict[str, object]] = None
     attach_count: int = 0  #: duplicate submissions that joined this record
     attempts: int = 0  #: dispatch attempts (drives the poison quarantine)
+    trace_id: str = ""  #: request trace ID — survives replay with the record
 
     @property
     def terminal(self) -> bool:
@@ -112,6 +113,7 @@ class JobRecord:
             "summary": self.summary,
             "attach_count": self.attach_count,
             "attempts": self.attempts,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -132,6 +134,7 @@ class JobRecord:
             summary=data.get("summary"),
             attach_count=int(data.get("attach_count", 0)),
             attempts=int(data.get("attempts", 0)),
+            trace_id=str(data.get("trace_id", "")),
         )
 
     def status_dict(self) -> Dict[str, object]:
@@ -359,6 +362,7 @@ class JobQueue:
         priority: Optional[str] = None,
         client: str = DEFAULT_CLIENT,
         label: Optional[str] = None,
+        trace_id: str = "",
     ) -> Tuple[JobRecord, str]:
         """Admit one job document.  Returns ``(record, disposition)``.
 
@@ -400,6 +404,7 @@ class JobQueue:
                 seq=self._seq,
                 submitted_unix=time.time(),
                 attempts=attempts,
+                trace_id=trace_id,
             )
             self._seq += 1
             self._records[key] = record
@@ -408,7 +413,7 @@ class JobQueue:
             self._append({"op": "submit", "record": record.to_dict()})
             return record, disposition
 
-    def requeue(self, key: str) -> JobRecord:
+    def requeue(self, key: str, trace_id: Optional[str] = None) -> JobRecord:
         """Force a known record back to ``queued`` (even a ``done`` one).
 
         This is the escape hatch for a settled job whose cache entry has
@@ -420,6 +425,8 @@ class JobQueue:
         """
         with self._lock:
             record = self._records[key]
+            if trace_id:
+                record.trace_id = trace_id
             if record.state == "queued":
                 return record
             self._counts[record.state] -= 1

@@ -21,7 +21,12 @@ Event schema (also the SSE ``data:`` payload)::
 
     {"seq": 17, "ts": 1721998800.5, "kind": "running", "key": "ab12...",
      "label": "buffer60:manual", "state": "running", "detail": "",
-     "runtime": 0.0}
+     "runtime": 0.0, "trace": "9f2c40d1a7b3e806"}
+
+The ``trace`` field is additive: it carries the job's request trace ID
+("" for epoch-level events such as ``shutdown``).  ``progress`` events
+additionally carry ``elapsed_s`` — seconds since the job entered
+``running`` — so watchers can detect stalled solves without polling.
 
 ``kind`` is one of ``queued | running | progress | done | failed |
 timeout | cancelled``; the last four are terminal and close any SSE
@@ -55,6 +60,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.faults import FAULTS
+from repro.obs.logging import LOG
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.trace import CLOCK, Span, TraceStore, mint_trace_id
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import LayoutJob
 from repro.runner.pool import BatchRunner, JobOutcome, ProgressEvent
@@ -63,7 +71,7 @@ from repro.service.documents import (
     priority_rank,
     validate_priority,
 )
-from repro.service.queue import JobQueue, JobRecord
+from repro.service.queue import JOB_STATES, JobQueue, JobRecord
 
 
 class QueueSaturated(ReproError):
@@ -155,6 +163,8 @@ class EventBus:
         state: str = "",
         detail: str = "",
         runtime: float = 0.0,
+        trace: str = "",
+        elapsed_s: Optional[float] = None,
     ) -> Dict[str, object]:
         with self._lock:
             self._seq += 1
@@ -167,7 +177,10 @@ class EventBus:
                 "state": state,
                 "detail": detail,
                 "runtime": round(runtime, 3),
+                "trace": trace,
             }
+            if elapsed_s is not None:
+                event["elapsed_s"] = round(elapsed_s, 3)
             history = self._history.setdefault(key, [])
             history.append(event)
             del history[:-_HISTORY_LIMIT]
@@ -225,6 +238,7 @@ class EventBus:
                 "state": "",
                 "detail": detail,
                 "runtime": 0.0,
+                "trace": "",
             }
             for subscription in self._firehose:
                 self._deliver(subscription, event)
@@ -309,30 +323,107 @@ class LayoutScheduler:
         self._threads: List[threading.Thread] = []
         self._dispatch_seq = 0
         self._last_served: Dict[str, int] = {}
-        #: Guards the stats counters and the runtime EMA below.  They are
-        #: mutated from every dispatcher thread *and* from HTTP admission
-        #: threads; bare ``+= 1`` read-modify-writes would silently drop
-        #: increments under load and make ``/stats`` drift.  Always the
-        #: innermost lock: never take ``self._lock`` or the queue lock
-        #: while holding it.
+        #: Guards the runtime EMA below.  It is mutated from every
+        #: dispatcher thread; a bare read-modify-write would silently drop
+        #: samples under load.  Always the innermost lock: never take
+        #: ``self._lock`` or the queue lock while holding it.
         self._counters_lock = threading.Lock()
-        self._solved = 0
-        self._served_from_cache = 0
-        self._attached = 0
-        self._failed = 0
         self._draining = False
-        self._dispatcher_restarts = 0
-        self._poisoned = 0
-        self._crash_retries = 0
-        self._shed = 0
-        self._rejected = 0
         self._runtime_ema = 0.0
         self._replayed = self.queue.depth()  # pending jobs inherited from the journal
+        #: Metrics registry: the single source of truth for the stats
+        #: counters.  ``/metrics`` and ``/stats`` are both derived from one
+        #: ``snapshot()`` call, so they can never disagree mid-scrape.
+        self.metrics = MetricsRegistry()
+        #: Per-job span trees (``GET /jobs/{hash}/trace``).
+        self.traces = TraceStore()
+        self._counters = {
+            attr: self.metrics.counter(name, help_text)
+            for attr, name, help_text in (
+                ("_solved", "rfic_jobs_solved_total",
+                 "Jobs settled by an actual solve"),
+                ("_served_from_cache", "rfic_jobs_served_from_cache_total",
+                 "Jobs settled from the result cache"),
+                ("_attached", "rfic_jobs_attached_total",
+                 "Submissions that joined an in-flight identical job"),
+                ("_failed", "rfic_jobs_failed_total",
+                 "Jobs settled as failed/timeout/cancelled"),
+                ("_rejected", "rfic_admission_rejected_total",
+                 "Submissions refused by queue bounds"),
+                ("_shed", "rfic_admission_shed_total",
+                 "Background submissions shed under load"),
+                ("_dispatcher_restarts", "rfic_dispatcher_restarts_total",
+                 "Dispatcher loops restarted by the supervisor"),
+                ("_poisoned", "rfic_jobs_poisoned_total",
+                 "Jobs quarantined after exhausting the crash budget"),
+                ("_crash_retries", "rfic_crash_retries_total",
+                 "Worker crashes that earned the job a retry"),
+            )
+        }
+        self._latency_hist = self.metrics.histogram(
+            "rfic_job_latency_seconds",
+            "End-to-end latency of settled jobs (submission to settlement)",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._cache_serve_hist = self.metrics.histogram(
+            "rfic_cache_serve_seconds",
+            "Admission duration of submissions answered from an already-"
+            "settled record",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._stage_hist = {
+            stage: self.metrics.histogram(
+                "rfic_job_stage_seconds",
+                "Per-stage attribution of settled-job latency; for every "
+                "settlement queue_wait + solve + overhead equals the "
+                "end-to-end latency by construction",
+                buckets=DEFAULT_LATENCY_BUCKETS,
+                labels={"stage": stage},
+            )
+            for stage in ("queue_wait", "solve", "overhead")
+        }
 
     def _bump(self, counter: str, amount: int = 1) -> None:
         """Atomically increment one of the stats counters."""
-        with self._counters_lock:
-            setattr(self, counter, getattr(self, counter) + amount)
+        self._counters[counter].inc(amount)
+
+    # The counters live in the metrics registry; these read-only views
+    # keep the historical attribute names (tests and callers read them).
+    @property
+    def _solved(self) -> int:
+        return int(self._counters["_solved"].value)
+
+    @property
+    def _served_from_cache(self) -> int:
+        return int(self._counters["_served_from_cache"].value)
+
+    @property
+    def _attached(self) -> int:
+        return int(self._counters["_attached"].value)
+
+    @property
+    def _failed(self) -> int:
+        return int(self._counters["_failed"].value)
+
+    @property
+    def _rejected(self) -> int:
+        return int(self._counters["_rejected"].value)
+
+    @property
+    def _shed(self) -> int:
+        return int(self._counters["_shed"].value)
+
+    @property
+    def _dispatcher_restarts(self) -> int:
+        return int(self._counters["_dispatcher_restarts"].value)
+
+    @property
+    def _poisoned(self) -> int:
+        return int(self._counters["_poisoned"].value)
+
+    @property
+    def _crash_retries(self) -> int:
+        return int(self._counters["_crash_retries"].value)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -403,6 +494,7 @@ class LayoutScheduler:
         document: Dict[str, object],
         priority: Optional[str] = None,
         client: str = "anonymous",
+        trace_id: Optional[str] = None,
     ) -> Tuple[JobRecord, str]:
         """Admit one job document; returns ``(record, disposition)``.
 
@@ -412,6 +504,10 @@ class LayoutScheduler:
         cache without running — the short-circuit counts as a cache hit in
         ``GET /stats``).
 
+        ``trace_id`` (from an ``X-Trace-Id`` header) correlates the
+        submission across events, logs and the span tree; one is minted
+        when the caller sends none.
+
         Raises :class:`ServiceDraining` while draining and
         :class:`QueueSaturated` when admitting this job would exceed the
         configured queue bounds.  Attaches and cache-served submissions
@@ -420,62 +516,127 @@ class LayoutScheduler:
         """
         if self._draining:
             raise ServiceDraining("service is draining; not admitting jobs")
+        admit_wall = CLOCK.time()
+        admit_perf = CLOCK.perf()
         job = job_from_document(document)
         key = job.content_hash
+        trace = trace_id or mint_trace_id()
         with self._lock:
-            existing = self.queue.get(key)
-            if existing is not None and existing.active:
-                # The record can settle between the check above and the
-                # queue's own locked submit (dispatchers settle under the
-                # queue lock only), so honour whatever disposition the
-                # queue actually took.
-                record, disposition = self.queue.submit(document, priority, client)
-                if disposition == "attached":
-                    self._bump("_attached")
-                elif disposition in ("queued", "requeued"):
-                    self.bus.publish("queued", key, record.label, "queued")
-                    self._wakeup.notify()
-                return record, disposition
-            if existing is not None and existing.state == "done":
-                entry = self._cache_hit(job)
-                if entry is not None:
-                    self._bump("_served_from_cache")
-                    return existing, "cached"
-                # Entry vanished (cache wiped/pruned): the journal says done
-                # but the layout is gone — force the work back into the queue.
-                self._check_capacity(existing.priority)
-                record = self.queue.requeue(key)
-                self.bus.publish("queued", key, record.label, "queued")
+            record, disposition = self._admit(
+                job, document, key, priority, client, trace,
+                admit_wall, admit_perf,
+            )
+        LOG.log(
+            "job.submit",
+            trace=record.trace_id or trace,
+            key=key,
+            disposition=disposition,
+            client=client,
+        )
+        return record, disposition
+
+    def _admit(
+        self,
+        job: LayoutJob,
+        document: Dict[str, object],
+        key: str,
+        priority: Optional[str],
+        client: str,
+        trace: str,
+        admit_wall: float,
+        admit_perf: float,
+    ) -> Tuple[JobRecord, str]:
+        """The admission state machine (caller holds ``self._lock``)."""
+
+        def admission_span(record_key: str, detail: str) -> None:
+            self.traces.begin(record_key, trace, "")
+            self.traces.span(
+                record_key, "admission", admit_wall,
+                CLOCK.perf() - admit_perf, detail=detail,
+            )
+
+        existing = self.queue.get(key)
+        if existing is not None and existing.active:
+            # The record can settle between the check above and the
+            # queue's own locked submit (dispatchers settle under the
+            # queue lock only), so honour whatever disposition the
+            # queue actually took.
+            record, disposition = self.queue.submit(
+                document, priority, client, trace_id=trace
+            )
+            if disposition == "attached":
+                self._bump("_attached")
+            elif disposition in ("queued", "requeued"):
+                admission_span(key, disposition)
+                self.bus.publish(
+                    "queued", key, record.label, "queued", trace=record.trace_id
+                )
                 self._wakeup.notify()
-                return record, "requeued"
-            if self.cache.peek(job) is None:
-                # Fresh work that will actually occupy a queue slot (a
-                # cache hit settles instantly and is admission-exempt).
-                self._check_capacity(validate_priority(priority))
-            record, disposition = self.queue.submit(document, priority, client)
-            if disposition == "done":
-                return record, disposition
+            return record, disposition
+        if existing is not None and existing.state == "done":
             entry = self._cache_hit(job)
             if entry is not None:
-                # Solved in a previous epoch (or by a CLI batch sharing the
-                # cache): settle instantly, never touching the pool.
-                summary = dict(entry.summary)
-                summary["served"] = "cache"
-                self.queue.settle(
-                    key,
-                    "done",
-                    summary=summary,
-                    runtime=float(entry.summary.get("runtime_s", 0.0)),
-                )
+                # Served from the already-settled record: no settlement
+                # happens, so this lands in the cache-serve histogram,
+                # keeping the latency histogram's count identity with the
+                # settlement counters exact.
                 self._bump("_served_from_cache")
-                self.bus.publish("queued", key, record.label, "queued")
-                self.bus.publish(
-                    "done", key, record.label, "done", detail="served from cache"
-                )
-                return self.queue.get(key), "cached"
-            self.bus.publish("queued", key, record.label, "queued")
+                self._cache_serve_hist.observe(CLOCK.perf() - admit_perf)
+                return existing, "cached"
+            # Entry vanished (cache wiped/pruned): the journal says done
+            # but the layout is gone — force the work back into the queue.
+            self._check_capacity(existing.priority)
+            record = self.queue.requeue(key, trace_id=trace)
+            admission_span(key, "requeued")
+            self.bus.publish(
+                "queued", key, record.label, "queued", trace=record.trace_id
+            )
             self._wakeup.notify()
+            return record, "requeued"
+        if self.cache.peek(job) is None:
+            # Fresh work that will actually occupy a queue slot (a
+            # cache hit settles instantly and is admission-exempt).
+            self._check_capacity(validate_priority(priority))
+        record, disposition = self.queue.submit(
+            document, priority, client, trace_id=trace
+        )
+        if disposition == "done":
             return record, disposition
+        entry = self._cache_hit(job)
+        if entry is not None:
+            # Solved in a previous epoch (or by a CLI batch sharing the
+            # cache): settle instantly, never touching the pool.
+            summary = dict(entry.summary)
+            summary["served"] = "cache"
+            self.queue.settle(
+                key,
+                "done",
+                summary=summary,
+                runtime=float(entry.summary.get("runtime_s", 0.0)),
+            )
+            self._bump("_served_from_cache")
+            admission_span(key, "served from cache")
+            settled = self.queue.get(key)
+            total = 0.0
+            if settled is not None and settled.settled_unix:
+                total = max(
+                    0.0, settled.settled_unix - settled.submitted_unix
+                )
+            self._observe_settled(key, total, queue_wait=0.0, solve=0.0)
+            self.bus.publish(
+                "queued", key, record.label, "queued", trace=record.trace_id
+            )
+            self.bus.publish(
+                "done", key, record.label, "done",
+                detail="served from cache", trace=record.trace_id,
+            )
+            return settled, "cached"
+        admission_span(key, disposition)
+        self.bus.publish(
+            "queued", key, record.label, "queued", trace=record.trace_id
+        )
+        self._wakeup.notify()
+        return record, disposition
 
     def _cache_hit(self, job: LayoutJob):
         """Cache lookup that counts a *hit* but never a miss.
@@ -588,7 +749,22 @@ class LayoutScheduler:
         if self.queue.settle(record.key, "failed", error=error):
             self._bump("_poisoned")
             self._bump("_failed")
-            self.bus.publish("failed", record.key, record.label, "failed", detail=error)
+            total = 0.0
+            if record.settled_unix:
+                total = max(0.0, record.settled_unix - record.submitted_unix)
+            # Never dispatched this time around: the whole latency is wait.
+            self._observe_settled(record.key, total, queue_wait=total, solve=0.0)
+            LOG.log(
+                "job.quarantined",
+                level="error",
+                trace=record.trace_id,
+                key=record.key,
+                error=error,
+            )
+            self.bus.publish(
+                "failed", record.key, record.label, "failed",
+                detail=error, trace=record.trace_id,
+            )
 
     def _dispatch_thread(self) -> None:
         """Supervisor shell around :meth:`_dispatch_loop`.
@@ -616,16 +792,109 @@ class LayoutScheduler:
                 if record is None:
                     self._wakeup.wait(timeout=0.2)
                     continue
-            self.bus.publish("running", record.key, record.label, "running")
+            dispatch_wall = CLOCK.time()
+            dispatch_perf = CLOCK.perf()
+            self._begin_dispatch_trace(record)
+            self.bus.publish(
+                "running", record.key, record.label, "running",
+                trace=record.trace_id,
+            )
+            LOG.log(
+                "job.dispatch", trace=record.trace_id, key=record.key,
+                label=record.label, attempt=record.attempts,
+            )
             try:
                 job = job_from_document(record.document)
+                job.trace_id = record.trace_id
+                self.traces.span(
+                    record.key, "dispatch", dispatch_wall,
+                    CLOCK.perf() - dispatch_perf,
+                )
+                worker_wall = CLOCK.time()
+                worker_perf = CLOCK.perf()
                 outcome = self.runner.run_one(
                     job, progress=self._progress_forwarder(record)
                 )
+                worker_s = CLOCK.perf() - worker_perf
             except Exception as exc:  # noqa: BLE001 - dispatcher boundary
                 self._settle_failure(record, f"{type(exc).__name__}: {exc}")
                 continue
+            self._record_worker_spans(record, outcome, worker_wall, worker_s)
+            settle_wall = CLOCK.time()
+            settle_perf = CLOCK.perf()
             self._settle_outcome(record, outcome)
+            self.traces.span(
+                record.key, "settle", settle_wall, CLOCK.perf() - settle_perf
+            )
+
+    def _begin_dispatch_trace(self, record: JobRecord) -> None:
+        """Open (or re-join) the record's span tree at dispatch time.
+
+        A record replayed from a previous epoch has no in-memory spans —
+        its admission happened before this daemon was born.  Synthesize a
+        zero-length ``admission`` span marked ``truncated`` so the tree
+        shows the job's full shape instead of silently dropping the
+        crashed epoch's stages.
+        """
+        trace = self.traces.begin(record.key, record.trace_id, record.label)
+        if not any(span.name == "admission" for span in trace.spans):
+            self.traces.span(
+                record.key, "admission", record.submitted_unix, 0.0,
+                detail="replayed from journal", truncated=True,
+            )
+        if record.started_unix is not None:
+            queue_wait = max(0.0, record.started_unix - record.submitted_unix)
+            self.traces.span(
+                record.key, "queue_wait", record.submitted_unix, queue_wait
+            )
+
+    def _record_worker_spans(
+        self,
+        record: JobRecord,
+        outcome: JobOutcome,
+        worker_wall: float,
+        worker_s: float,
+    ) -> None:
+        """Record the worker span and its children from the solve profile.
+
+        Child start stamps are derived by stacking the profiled durations
+        onto the worker's start — the worker process has no shared clock
+        with the daemon, so only the durations are authoritative.
+        """
+        key = record.key
+        self.traces.span(
+            key, "worker", worker_wall, worker_s,
+            detail=outcome.status,
+        )
+        profile = outcome.profile or {}
+        cursor = worker_wall
+        if outcome.status == "completed":
+            # Fork + pipe + payload overhead: worker wall minus flow time.
+            fork_s = max(0.0, worker_s - float(outcome.runtime))
+            self.traces.span(
+                key, "worker_fork", worker_wall, fork_s, parent="worker"
+            )
+            cursor += fork_s
+        for phase in profile.get("phases", []):
+            wall_s = float(phase.get("wall_s", 0.0))
+            self.traces.span(
+                key,
+                f"solve.{phase.get('phase', '?')}",
+                cursor,
+                wall_s,
+                parent="worker",
+                detail=str(phase.get("solver_backend", "")),
+            )
+            cursor += wall_s
+        for stage, name in (
+            ("metrics_s", "metrics"),
+            ("drc_s", "drc"),
+            ("cache_put_s", "cache_put"),
+        ):
+            if stage in profile:
+                seconds = float(profile[stage])
+                self.traces.span(key, name, cursor, seconds, parent="worker")
+                cursor += seconds
 
     def _progress_forwarder(
         self, record: JobRecord
@@ -635,6 +904,9 @@ class LayoutScheduler:
             # them as "progress" would double-report the lifecycle.
             if event.kind in ("submitted", "cached", "completed", "failed", "timeout"):
                 return
+            elapsed = None
+            if record.started_unix is not None:
+                elapsed = max(0.0, CLOCK.time() - record.started_unix)
             self.bus.publish(
                 "progress",
                 record.key,
@@ -642,6 +914,8 @@ class LayoutScheduler:
                 record.state,
                 detail=event.kind,
                 runtime=event.runtime,
+                trace=record.trace_id,
+                elapsed_s=elapsed,
             )
 
         return forward
@@ -667,6 +941,14 @@ class LayoutScheduler:
                     # poison_threshold of them in total.
                     self._bump("_crash_retries")
                     requeued = self.queue.requeue(record.key)
+                    LOG.log(
+                        "job.crash_retry",
+                        level="warning",
+                        trace=record.trace_id,
+                        key=record.key,
+                        attempt=attempts,
+                        budget=self.poison_threshold,
+                    )
                     self.bus.publish(
                         "queued",
                         record.key,
@@ -676,6 +958,7 @@ class LayoutScheduler:
                             f"retry {attempts}/{self.poison_threshold} "
                             f"after worker crash"
                         ),
+                        trace=record.trace_id,
                     )
                     with self._wakeup:
                         self._wakeup.notify()
@@ -693,6 +976,26 @@ class LayoutScheduler:
             error=error,
             runtime=outcome.runtime,
         )
+        # Observed with the same unconditionality as the counter bumps
+        # above, so the latency histogram's count stays exactly equal to
+        # solved + served_from_cache + failures (minus cache serves, which
+        # have their own histogram).
+        settled_at = record.settled_unix or CLOCK.time()
+        total = max(0.0, settled_at - record.submitted_unix)
+        queue_wait = 0.0
+        if record.started_unix is not None:
+            queue_wait = max(0.0, record.started_unix - record.submitted_unix)
+        solve = outcome.runtime if outcome.status == "completed" else 0.0
+        self._observe_settled(record.key, total, queue_wait, solve)
+        LOG.log(
+            "job.settled",
+            level="info" if outcome.ok else "error",
+            trace=record.trace_id,
+            key=record.key,
+            state=state,
+            runtime_s=round(outcome.runtime, 3),
+            error=error,
+        )
         if settled:
             self.bus.publish(
                 _TERMINAL_KINDS.get(outcome.status, "failed"),
@@ -701,6 +1004,7 @@ class LayoutScheduler:
                 state,
                 detail=error or "",
                 runtime=outcome.runtime,
+                trace=record.trace_id,
             )
 
     @staticmethod
@@ -731,10 +1035,47 @@ class LayoutScheduler:
             else:
                 self._runtime_ema = 0.8 * self._runtime_ema + 0.2 * runtime
 
+    def _observe_settled(
+        self, key: str, total: float, queue_wait: float, solve: float
+    ) -> None:
+        """Feed one settlement into the latency + stage histograms.
+
+        The stage values are clamped so that ``queue_wait + solve +
+        overhead == total`` holds *by construction* for every observation
+        — the reconciliation the load harness and CI assert on.  Also
+        marks the job's span tree settled (evictable).
+        """
+        total = max(0.0, float(total))
+        queue_wait = min(max(0.0, float(queue_wait)), total)
+        solve = min(max(0.0, float(solve)), total - queue_wait)
+        overhead = max(0.0, total - queue_wait - solve)
+        self._latency_hist.observe(total)
+        self._stage_hist["queue_wait"].observe(queue_wait)
+        self._stage_hist["solve"].observe(solve)
+        self._stage_hist["overhead"].observe(overhead)
+        self.traces.settle(key)
+
     def _settle_failure(self, record: JobRecord, error: str) -> None:
         self._bump("_failed")
-        if self.queue.settle(record.key, "failed", error=error):
-            self.bus.publish("failed", record.key, record.label, "failed", detail=error)
+        settled = self.queue.settle(record.key, "failed", error=error)
+        settled_at = record.settled_unix or CLOCK.time()
+        total = max(0.0, settled_at - record.submitted_unix)
+        queue_wait = 0.0
+        if record.started_unix is not None:
+            queue_wait = max(0.0, record.started_unix - record.submitted_unix)
+        self._observe_settled(record.key, total, queue_wait, 0.0)
+        LOG.log(
+            "job.failed",
+            level="error",
+            trace=record.trace_id,
+            key=record.key,
+            error=error,
+        )
+        if settled:
+            self.bus.publish(
+                "failed", record.key, record.label, "failed",
+                detail=error, trace=record.trace_id,
+            )
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -754,8 +1095,7 @@ class LayoutScheduler:
         journal_degraded = self.queue.degraded
         cache_error = self.cache.last_put_error
         degraded = journal_degraded is not None or cache_error is not None
-        with self._counters_lock:
-            restarts = self._dispatcher_restarts
+        restarts = self._dispatcher_restarts
         return {
             "status": "degraded" if degraded else "ok",
             "draining": self._draining,
@@ -778,54 +1118,246 @@ class LayoutScheduler:
             return False
         return self.queue.depth() >= self.max_queue_depth
 
-    def stats(self) -> Dict[str, object]:
-        """The ``GET /stats`` document."""
+    def metrics_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Refresh the gauges and return one coherent registry snapshot.
+
+        This is the single source both ``GET /metrics`` and ``GET /stats``
+        are rendered from, so the two endpoints can never disagree about a
+        counter mid-scrape.
+        """
         counts = self.queue.counts()
         pending = self.queue.pending_counts()
-        with self._counters_lock:  # one coherent snapshot of the counters
-            snapshot = {
-                "solved": self._solved,
-                "served_from_cache": self._served_from_cache,
-                "attached": self._attached,
-                "failures": self._failed,
-                "rejected": self._rejected,
-                "shed": self._shed,
-                "dispatcher_restarts": self._dispatcher_restarts,
-                "crash_retries": self._crash_retries,
-                "poisoned": self._poisoned,
-            }
+        cache = self.cache.stats
+        m = self.metrics
+        m.gauge("rfic_uptime_seconds", "Seconds since the scheduler started").set(
+            time.time() - self.started_unix
+        )
+        m.gauge("rfic_queue_depth", "Jobs waiting for a dispatcher").set(
+            counts["queued"]
+        )
+        m.gauge("rfic_jobs_running", "Jobs currently dispatched").set(
+            counts["running"]
+        )
+        for state in JOB_STATES:
+            m.gauge(
+                "rfic_jobs_state", "Journal records per lifecycle state",
+                labels={"state": state},
+            ).set(counts.get(state, 0))
+        for cls in ("interactive", "batch", "background"):
+            m.gauge(
+                "rfic_admission_pending", "Queued jobs per priority class",
+                labels={"class": cls},
+            ).set(pending.get(cls, 0))
+        for name, value in (
+            ("rfic_cache_hits", cache.hits),
+            ("rfic_cache_misses", cache.misses),
+            ("rfic_cache_stores", cache.stores),
+            ("rfic_cache_put_errors", cache.put_errors),
+        ):
+            m.gauge(name, "Result-cache counter (scheduler's cache view)").set(
+                value
+            )
+        m.gauge(
+            "rfic_jobs_replayed", "Pending jobs inherited from the journal"
+        ).set(self._replayed)
+        m.gauge("rfic_dispatchers", "Configured dispatcher threads").set(
+            self.concurrency
+        )
+        return m.snapshot()
+
+    @staticmethod
+    def _snapshot_value(
+        snapshot: Dict[str, Dict[str, object]],
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> float:
+        family = snapshot.get(name)
+        if not family:
+            return 0.0
+        wanted = labels or {}
+        for sample in family["samples"]:
+            if sample.get("labels", {}) == wanted:
+                return float(sample["value"])
+        return 0.0
+
+    @staticmethod
+    def _snapshot_histogram(
+        snapshot: Dict[str, Dict[str, object]],
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, object]:
+        family = snapshot.get(name)
+        wanted = labels or {}
+        if family:
+            for sample in family["samples"]:
+                if sample.get("labels", {}) == wanted:
+                    count = int(sample["count"])
+                    total = float(sample["sum"])
+                    return {
+                        "count": count,
+                        "sum_s": round(total, 6),
+                        "mean_s": round(total / count, 6) if count else 0.0,
+                    }
+        return {"count": 0, "sum_s": 0.0, "mean_s": 0.0}
+
+    def stats(self) -> Dict[str, object]:
+        """The ``GET /stats`` document (one registry snapshot, see above)."""
+        snapshot = self.metrics_snapshot()
+
+        def counter(attr: str) -> int:
+            name = {
+                "_solved": "rfic_jobs_solved_total",
+                "_served_from_cache": "rfic_jobs_served_from_cache_total",
+                "_attached": "rfic_jobs_attached_total",
+                "_failed": "rfic_jobs_failed_total",
+                "_rejected": "rfic_admission_rejected_total",
+                "_shed": "rfic_admission_shed_total",
+                "_dispatcher_restarts": "rfic_dispatcher_restarts_total",
+                "_crash_retries": "rfic_crash_retries_total",
+                "_poisoned": "rfic_jobs_poisoned_total",
+            }[attr]
+            return int(self._snapshot_value(snapshot, name))
+
+        counts = {
+            state: int(
+                self._snapshot_value(
+                    snapshot, "rfic_jobs_state", {"state": state}
+                )
+            )
+            for state in JOB_STATES
+        }
+        pending = {}
+        for cls in ("interactive", "batch", "background"):
+            value = int(
+                self._snapshot_value(
+                    snapshot, "rfic_admission_pending", {"class": cls}
+                )
+            )
+            if value:
+                pending[cls] = value
+        hits = int(self._snapshot_value(snapshot, "rfic_cache_hits"))
+        misses = int(self._snapshot_value(snapshot, "rfic_cache_misses"))
+        lookups = hits + misses
+        cache = {
+            "hits": hits,
+            "misses": misses,
+            "lookups": lookups,
+            "stores": int(self._snapshot_value(snapshot, "rfic_cache_stores")),
+            "put_errors": int(
+                self._snapshot_value(snapshot, "rfic_cache_put_errors")
+            ),
+            "hit_rate": round(hits / lookups, 3) if lookups else 0.0,
+        }
         return {
-            "uptime_s": round(time.time() - self.started_unix, 1),
+            "uptime_s": round(
+                self._snapshot_value(snapshot, "rfic_uptime_seconds"), 1
+            ),
             "queue_depth": counts["queued"],
             "running": counts["running"],
             "jobs": counts,
             "replayed_from_journal": self._replayed,
-            "solved": snapshot["solved"],
-            "served_from_cache": snapshot["served_from_cache"],
-            "attached": snapshot["attached"],
-            "failures": snapshot["failures"],
+            "solved": counter("_solved"),
+            "served_from_cache": counter("_served_from_cache"),
+            "attached": counter("_attached"),
+            "failures": counter("_failed"),
             "dispatchers": self.concurrency,
             "pool_workers": self.runner.workers,
-            "cache": self.cache.stats.as_dict(),
+            "cache": cache,
             "journal_dropped_lines": self.queue.dropped_lines,
             "admission": {
                 "max_queue_depth": self.max_queue_depth,
                 "class_limits": dict(self.class_limits),
                 "background_shed_ratio": self.background_shed_ratio,
                 "pending_by_class": pending,
-                "rejected": snapshot["rejected"],
-                "shed": snapshot["shed"],
+                "rejected": counter("_rejected"),
+                "shed": counter("_shed"),
                 "retry_after_hint_s": round(
                     self._retry_after_hint(counts["queued"]), 1
                 ),
             },
             "supervision": {
-                "dispatcher_restarts": snapshot["dispatcher_restarts"],
-                "crash_retries": snapshot["crash_retries"],
-                "poisoned": snapshot["poisoned"],
+                "dispatcher_restarts": counter("_dispatcher_restarts"),
+                "crash_retries": counter("_crash_retries"),
+                "poisoned": counter("_poisoned"),
                 "poison_threshold": self.poison_threshold,
             },
+            "metrics": {
+                "job_latency_s": self._snapshot_histogram(
+                    snapshot, "rfic_job_latency_seconds"
+                ),
+                "cache_serve_s": self._snapshot_histogram(
+                    snapshot, "rfic_cache_serve_seconds"
+                ),
+                "stages_s": {
+                    stage: self._snapshot_histogram(
+                        snapshot, "rfic_job_stage_seconds", {"stage": stage}
+                    )
+                    for stage in ("queue_wait", "solve", "overhead")
+                },
+            },
             "health": self.health(),
+        }
+
+    def trace_document(self, record: JobRecord) -> Dict[str, object]:
+        """The ``GET /jobs/{hash}/trace`` document: the job's span tree.
+
+        When the in-memory store has no spans (the job settled in a
+        previous epoch), the tree is synthesized from the journaled
+        timestamps, every span marked ``truncated`` — crashed-epoch
+        history is degraded, never dropped.
+        """
+        trace = self.traces.get(record.key)
+        if trace is not None and trace.spans:
+            trace_id = trace.trace_id or record.trace_id
+            spans = [span.to_dict() for span in trace.spans]
+        else:
+            trace_id = record.trace_id
+            spans = []
+            if record.started_unix is not None:
+                queue_wait = max(
+                    0.0, record.started_unix - record.submitted_unix
+                )
+                spans.append(Span(
+                    "queue_wait", record.submitted_unix, queue_wait,
+                    detail="synthesized from journal", truncated=True,
+                ).to_dict())
+                if record.runtime:
+                    spans.append(Span(
+                        "worker", record.started_unix, float(record.runtime),
+                        detail="synthesized from journal", truncated=True,
+                    ).to_dict())
+            elif record.terminal:
+                # Settled without ever dispatching (cache serve or
+                # quarantine) in an epoch whose spans are gone.
+                total = 0.0
+                if record.settled_unix:
+                    total = max(
+                        0.0, record.settled_unix - record.submitted_unix
+                    )
+                spans.append(Span(
+                    "admission", record.submitted_unix, total,
+                    detail="synthesized from journal", truncated=True,
+                ).to_dict())
+        top_level = [span for span in spans if not span.get("parent")]
+        total_s = None
+        if record.settled_unix is not None:
+            total_s = round(
+                max(0.0, record.settled_unix - record.submitted_unix), 6
+            )
+        return {
+            "key": record.key,
+            "trace": trace_id,
+            "label": record.label,
+            "state": record.state,
+            "submitted_unix": record.submitted_unix,
+            "started_unix": record.started_unix,
+            "settled_unix": record.settled_unix,
+            "total_s": total_s,
+            "span_sum_s": round(
+                sum(float(span["duration_s"]) for span in top_level), 6
+            ),
+            "truncated": any(span.get("truncated") for span in spans),
+            "spans": spans,
         }
 
     def resolve_job(self, key: str) -> Optional[LayoutJob]:

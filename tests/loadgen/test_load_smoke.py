@@ -64,6 +64,31 @@ def test_load_smoke(tmp_path):
     assert report.ok, {
         name: check for name, check in report.reconcile().items() if not check["ok"]
     }
+    checks = report.reconcile()
+
+    # -- the /metrics exposition reconciles with the run
+    assert report.metrics_midrun_error is None  # parse-clean mid-run scrape
+    assert report.metrics_text, "final /metrics scrape missing"
+    # Every settlement landed exactly one histogram observation …
+    assert checks["metrics_latency_count"]["ok"], checks["metrics_latency_count"]
+    # … and queue_wait + solve + overhead sums back to end-to-end latency.
+    assert checks["metrics_stage_attribution"]["ok"], checks[
+        "metrics_stage_attribution"
+    ]
+    # Client-observed percentiles sit inside the server histogram buckets.
+    for name in ("metrics_settle_p50_bounds", "metrics_settle_p95_bounds"):
+        assert name in checks, "percentile reconciliation never ran"
+        assert checks[name]["ok"], checks[name]
+
+    # -- one solved job's span tree covers its end-to-end latency
+    trace = report.trace_sample
+    assert trace, "no solved job produced a span tree"
+    assert trace["total_s"] is not None
+    assert abs(trace["span_sum_s"] - trace["total_s"]) <= max(
+        0.5, 0.1 * trace["total_s"]
+    ), trace
+    span_names = {span["name"] for span in trace["spans"]}
+    assert {"admission", "queue_wait", "worker", "settle"} <= span_names
     assert report.lost_jobs == []
     assert report.submit_errors == []
     stats = report.server_stats

@@ -1,0 +1,75 @@
+"""Unit tests of the structured JSON-lines logger."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.logging import KEY_PREFIX_LEN, JsonLogger
+
+
+@pytest.fixture
+def logger():
+    instance = JsonLogger()
+    yield instance
+    instance.disable()
+
+
+def test_disabled_logger_writes_nothing(logger):
+    # No configure() call: log() must be a no-op, not an error.
+    logger.log("job.settled", key="a" * 64)
+    assert not logger.enabled
+
+
+def test_lines_are_one_json_object_each(logger):
+    sink = io.StringIO()
+    logger.configure(stream=sink)
+    logger.log("job.submit", trace="trace01", key="c" * 64, disposition="queued")
+    logger.log("job.settled", level="error", error="boom")
+    lines = sink.getvalue().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["event"] == "job.submit"
+    assert first["level"] == "info"
+    assert first["trace"] == "trace01"
+    assert first["key"] == "c" * KEY_PREFIX_LEN  # 12-char prefix only
+    assert first["disposition"] == "queued"
+    assert first["ts"] > 0
+    second = json.loads(lines[1])
+    assert second["level"] == "error"
+    assert second["error"] == "boom"
+    assert "trace" not in second  # empty correlation fields are omitted
+
+
+def test_none_valued_fields_are_dropped(logger):
+    sink = io.StringIO()
+    logger.configure(stream=sink)
+    logger.log("job.settled", error=None, runtime_s=1.5)
+    record = json.loads(sink.getvalue())
+    assert "error" not in record
+    assert record["runtime_s"] == 1.5
+
+
+def test_file_sink(tmp_path, logger):
+    path = tmp_path / "service.log"
+    logger.configure(stream=io.StringIO(), path=str(path))
+    logger.log("daemon.start", dispatchers=2)
+    logger.disable()
+    record = json.loads(path.read_text(encoding="utf-8"))
+    assert record["event"] == "daemon.start"
+    assert record["dispatchers"] == 2
+
+
+def test_closed_sink_does_not_raise(logger):
+    sink = io.StringIO()
+    logger.configure(stream=sink)
+    sink.close()
+    logger.log("job.settled")  # swallowed, never raises
+
+
+def test_disable_stops_output(logger):
+    sink = io.StringIO()
+    logger.configure(stream=sink)
+    logger.disable()
+    logger.log("job.settled")
+    assert sink.getvalue() == ""

@@ -1,0 +1,166 @@
+"""Unit tests of the metrics registry and Prometheus exposition."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    histogram_quantile,
+    parse_prometheus,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", "jobs")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("jobs_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("thing")
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            MetricsRegistry().counter("bad name!")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(7)
+        gauge.inc(-2)
+        assert gauge.value == 5
+
+    def test_labelled_children_are_distinct(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("state", labels={"state": "queued"})
+        b = registry.gauge("state", labels={"state": "running"})
+        a.set(1)
+        b.set(2)
+        assert (a.value, b.value) == (1, 2)
+
+
+class TestHistogram:
+    def test_observe_and_cumulative_snapshot(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(6.05)
+        # Cumulative counts ending at +Inf.
+        assert snap["buckets"] == [[0.1, 1], [1.0, 3], [math.inf, 4]]
+
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            MetricsRegistry().histogram("h", buckets=(1.0, 1.0))
+
+    def test_bucket_mismatch_on_reregistration(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different buckets"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_hammer_is_exact(self):
+        """32 threads x 1000 updates: nothing lost under the shared lock."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        hist = registry.histogram("lat", buckets=DEFAULT_LATENCY_BUCKETS)
+
+        def worker():
+            for i in range(1000):
+                counter.inc()
+                hist.observe(0.001 * (i % 50))
+
+        threads = [threading.Thread(target=worker) for _ in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 32000
+        assert hist.snapshot()["count"] == 32000
+
+
+class TestSnapshotAndExposition:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("rfic_solved_total", "Jobs solved").inc(3)
+        registry.gauge("rfic_depth", "Queue depth").set(2)
+        hist = registry.histogram(
+            "rfic_latency_seconds", "Latency", buckets=(0.1, 1.0)
+        )
+        hist.observe(0.05)
+        hist.observe(2.0)
+        registry.counter(
+            "rfic_state_total", labels={"state": "done"}
+        ).inc(1)
+        return registry
+
+    def test_snapshot_is_coherent_and_sorted(self):
+        snap = self._populated().snapshot()
+        assert list(snap) == sorted(snap)
+        latency = snap["rfic_latency_seconds"]["samples"][0]
+        assert latency["count"] == 2
+        assert latency["buckets"][-1][0] == math.inf
+        assert latency["buckets"][-1][1] == 2
+
+    def test_render_parse_round_trip(self):
+        text = render_prometheus(self._populated().snapshot())
+        assert "# TYPE rfic_latency_seconds histogram" in text
+        assert 'rfic_latency_seconds_bucket{le="+Inf"} 2' in text
+        assert 'rfic_state_total{state="done"} 1' in text
+        families = parse_prometheus(text)
+        assert families["rfic_solved_total"]["kind"] == "counter"
+        latency = families["rfic_latency_seconds"]
+        assert latency["kind"] == "histogram"
+        # Suffixed samples fold back into the histogram family.
+        names = {sample["name"] for sample in latency["samples"]}
+        assert "rfic_latency_seconds_bucket" in names
+        assert "rfic_latency_seconds_count" in names
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus("this is { not metrics\n")
+        with pytest.raises(ValueError, match="bad value"):
+            parse_prometheus("rfic_x pancake\n")
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"p": 'a"b\\c'}).inc()
+        text = render_prometheus(registry.snapshot())
+        families = parse_prometheus(text)
+        sample = families["c_total"]["samples"][0]
+        assert sample["labels"]["p"] == 'a"b\\c'
+
+
+class TestHistogramQuantile:
+    def test_bracket_bounds(self):
+        buckets = [[0.1, 2], [1.0, 8], [math.inf, 10]]
+        assert histogram_quantile(buckets, 10, 0.5) == (0.1, 1.0)
+        assert histogram_quantile(buckets, 10, 0.1) == (0.0, 0.1)
+        assert histogram_quantile(buckets, 10, 0.99) == (1.0, math.inf)
+
+    def test_empty_histogram_returns_none(self):
+        assert histogram_quantile([], 0, 0.5) is None
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_quantile([[math.inf, 1]], 1, 1.5)

@@ -1,0 +1,106 @@
+"""Unit tests of the trace store, span records, and injectable clock."""
+
+import re
+
+import pytest
+
+from repro.obs.trace import CLOCK, JobTrace, Span, TraceStore, mint_trace_id
+
+
+class TestTraceClock:
+    def test_real_clocks_by_default(self):
+        assert not CLOCK.installed
+        assert CLOCK.time() > 0
+        assert CLOCK.perf() >= 0
+
+    def test_install_makes_spans_deterministic(self):
+        ticks = iter(range(100))
+        CLOCK.install(wall=lambda: 1000.0, monotonic=lambda: float(next(ticks)))
+        try:
+            assert CLOCK.installed
+            assert CLOCK.time() == 1000.0
+            start = CLOCK.perf()
+            assert CLOCK.perf() - start == 1.0
+        finally:
+            CLOCK.clear()
+        assert not CLOCK.installed
+
+
+class TestMintTraceId:
+    def test_format_and_uniqueness(self):
+        ids = {mint_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert re.fullmatch(r"[0-9a-f]{16}", trace_id)
+
+
+class TestSpan:
+    def test_to_dict_omits_empty_fields(self):
+        doc = Span("solve", 100.0, 0.25).to_dict()
+        assert doc == {"name": "solve", "start_unix": 100.0, "duration_s": 0.25}
+
+    def test_to_dict_keeps_parent_detail_truncated(self):
+        doc = Span(
+            "solve.phase1", 100.0, 0.25, parent="worker",
+            detail="highs", truncated=True,
+        ).to_dict()
+        assert doc["parent"] == "worker"
+        assert doc["detail"] == "highs"
+        assert doc["truncated"] is True
+
+
+class TestTraceStore:
+    def test_begin_span_get(self):
+        store = TraceStore()
+        store.begin("k1", "trace01", label="tiny")
+        store.span("k1", "admission", 100.0, 0.001)
+        trace = store.get("k1")
+        assert isinstance(trace, JobTrace)
+        assert trace.trace_id == "trace01"
+        assert [span.name for span in trace.spans] == ["admission"]
+
+    def test_begin_is_idempotent_and_accumulates(self):
+        store = TraceStore()
+        store.begin("k1", "trace01")
+        store.span("k1", "admission", 100.0, 0.001)
+        store.settle("k1")
+        # A requeue re-begins the same key: spans accumulate, not reset.
+        trace = store.begin("k1", "")
+        assert trace.trace_id == "trace01"
+        assert not trace.settled
+        store.span("k1", "queue_wait", 101.0, 0.5)
+        assert [span.name for span in store.get("k1").spans] == [
+            "admission", "queue_wait",
+        ]
+
+    def test_span_for_unknown_key_is_a_noop(self):
+        store = TraceStore()
+        store.span("missing", "admission", 100.0, 0.001)
+        assert store.get("missing") is None
+
+    def test_negative_durations_clamped(self):
+        store = TraceStore()
+        store.begin("k1", "t")
+        store.span("k1", "admission", 100.0, -5.0)
+        assert store.get("k1").spans[0].duration_s == 0.0
+
+    def test_eviction_only_drops_settled_traces(self):
+        store = TraceStore(limit=4)
+        for i in range(4):
+            store.begin(f"settled-{i}", "t")
+            store.settle(f"settled-{i}")
+        store.begin("live", "t")  # fifth entry, unsettled
+        # Settling anything past the limit evicts the oldest *settled*.
+        store.begin("another", "t")
+        store.settle("another")
+        assert len(store) <= 5
+        assert store.get("live") is not None
+        assert store.get("settled-0") is None
+
+
+@pytest.mark.parametrize("count", [1, 3])
+def test_store_len(count):
+    store = TraceStore()
+    for i in range(count):
+        store.begin(f"k{i}", "t")
+    assert len(store) == count

@@ -1,0 +1,153 @@
+"""The observability layer end-to-end: /metrics, /stats coherence, traces.
+
+Everything here runs against a real in-process daemon (inline execution)
+with the tiny manual-flow job, so the tier stays fast.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import parse_prometheus
+from repro.runner import LayoutJob
+from repro.service import LayoutService, ServiceClient
+from tests.conftest import build_tiny_netlist
+
+
+@pytest.fixture
+def service(tmp_path):
+    instance = LayoutService(
+        data_dir=tmp_path / "svc", inline=True, concurrency=2, fsync=False
+    )
+    instance.bind(port=0)
+    instance.start()
+    threading.Thread(target=instance.serve_forever, daemon=True).start()
+    yield instance
+    instance.shutdown()
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(f"http://127.0.0.1:{service.port}", timeout=30.0)
+
+
+def tiny_job(tag=""):
+    return LayoutJob(flow="manual", netlist=build_tiny_netlist(), tag=tag)
+
+
+class TestMetricsEndpoint:
+    def test_exposition_is_parse_clean(self, client):
+        client.wait(client.submit_job(tiny_job("m1"))["key"], timeout=60)
+        text = client.metrics_text()
+        families = parse_prometheus(text)  # raises on any malformed line
+        assert families["rfic_jobs_solved_total"]["kind"] == "counter"
+        assert families["rfic_job_latency_seconds"]["kind"] == "histogram"
+        assert families["rfic_queue_depth"]["kind"] == "gauge"
+        # Histogram series end at +Inf and agree with their _count.
+        buckets = [
+            sample
+            for sample in families["rfic_job_latency_seconds"]["samples"]
+            if sample["name"].endswith("_bucket")
+        ]
+        assert any(sample["labels"].get("le") == "+Inf" for sample in buckets)
+
+    def test_metrics_and_stats_agree(self, client):
+        key = client.submit_job(tiny_job("m2"))["key"]
+        client.wait(key, timeout=60)
+        client.submit_job(tiny_job("m2"))  # cache serve at admission
+        stats = client.stats()
+        families = parse_prometheus(client.metrics_text())
+
+        def value(name):
+            return families[name]["samples"][0]["value"]
+
+        assert value("rfic_jobs_solved_total") == stats["solved"]
+        assert (
+            value("rfic_jobs_served_from_cache_total")
+            == stats["served_from_cache"]
+        )
+        assert value("rfic_jobs_failed_total") == stats["failures"]
+        # /stats carries the histogram summaries from the same snapshot.
+        latency = stats["metrics"]["job_latency_s"]
+        count_sample = next(
+            sample
+            for sample in families["rfic_job_latency_seconds"]["samples"]
+            if sample["name"].endswith("_count")
+        )
+        assert latency["count"] == count_sample["value"]
+
+    def test_stage_histograms_reconcile_with_latency(self, client):
+        for tag in ("s1", "s2", "s3"):
+            client.wait(client.submit_job(tiny_job(tag))["key"], timeout=60)
+        stats = client.stats()
+        metrics = stats["metrics"]
+        stages = metrics["stages_s"]
+        stage_sum = sum(stages[name]["sum_s"] for name in stages)
+        latency_sum = metrics["job_latency_s"]["sum_s"]
+        assert stage_sum == pytest.approx(latency_sum, abs=0.05)
+        for name in stages:
+            assert stages[name]["count"] == metrics["job_latency_s"]["count"]
+
+
+class TestTraceEndpoint:
+    def test_trace_header_is_honoured(self, client):
+        response = client.submit_document(
+            {
+                "flow": "manual",
+                "netlist": tiny_job("t1").canonical_dict()["netlist"],
+                "tag": "t1",
+            },
+            trace_id="cafecafecafecafe",
+        )
+        assert response["trace_id"] == "cafecafecafecafe"
+        client.wait(response["key"], timeout=60)
+        trace = client.trace(response["key"])
+        assert trace["trace"] == "cafecafecafecafe"
+
+    def test_span_tree_sums_to_end_to_end_latency(self, client):
+        key = client.submit_job(tiny_job("t2"))["key"]
+        client.wait(key, timeout=60)
+        trace = client.trace(key)
+        assert trace["truncated"] is False
+        names = [span["name"] for span in trace["spans"]]
+        for expected in ("admission", "queue_wait", "dispatch", "worker", "settle"):
+            assert expected in names, names
+        # Top-level spans cover the record's end-to-end latency to within
+        # the (small) untraced overhead.
+        assert trace["total_s"] is not None
+        assert trace["span_sum_s"] == pytest.approx(trace["total_s"], abs=0.25)
+        # Child spans nest under the worker span.
+        for span in trace["spans"]:
+            if span.get("parent"):
+                assert span["parent"] == "worker"
+
+    def test_unknown_trace_key_404(self, client):
+        from repro.service import ServiceError
+
+        with pytest.raises(ServiceError, match="404"):
+            client.trace("0" * 64)
+
+    def test_trace_id_minted_when_header_absent(self, client):
+        response = client.submit_job(tiny_job("t3"))
+        assert len(response["trace_id"]) == 16
+
+
+class TestSSETraceFields:
+    def test_events_carry_trace_and_progress_elapsed(self, client):
+        response = client.submit_document(
+            {
+                "flow": "manual",
+                "netlist": tiny_job("sse").canonical_dict()["netlist"],
+                "tag": "sse",
+            },
+            trace_id="beefbeefbeefbeef",
+        )
+        events = list(client.iter_events(response["key"], timeout=60))
+        assert events, "stream closed without any events"
+        for event in events:
+            assert "trace" in event
+        live = [event for event in events if event["seq"] > 0]
+        assert any(event["trace"] == "beefbeefbeefbeef" for event in live)
+        progress = [event for event in events if event["kind"] == "progress"]
+        for event in progress:
+            assert event["elapsed_s"] >= 0

@@ -102,3 +102,50 @@ def test_job_hash_is_cached_per_instance(tiny_netlist):
 
     job = LayoutJob(flow="pilp", netlist=tiny_netlist)
     assert job.content_hash is job.content_hash
+
+
+def test_observability_is_off_by_default():
+    """Tracing/logging must cost nothing unless explicitly enabled.
+
+    Structural pin of the disabled-overhead acceptance: the injectable
+    clock falls through to the real clocks, and the structured logger's
+    ``log()`` is a single attribute check.
+    """
+    from repro.obs.logging import LOG
+    from repro.obs.trace import CLOCK
+
+    assert not CLOCK.installed
+    assert not LOG.enabled
+
+
+def test_hot_solver_modules_do_not_import_obs():
+    """The solve hot path must not grow observability imports.
+
+    Profiling hooks live in the phase drivers (which already do I/O and
+    subprocess work); the per-constraint hot builders and the ILP model
+    stay observability-free so ``bench_runner_batch`` is unaffected with
+    tracing off.
+    """
+    import inspect
+
+    import repro.core.model_builder
+    import repro.ilp.model
+
+    for module in (repro.core.model_builder, repro.ilp.model):
+        assert "repro.obs" not in inspect.getsource(module)
+
+
+def test_cache_entries_carry_a_solve_profile(tmp_path):
+    """Every new cache entry stores its cost breakdown (profile)."""
+    from repro.runner import BatchRunner, LayoutJob
+    from repro.runner.cache import ResultCache
+    from tests.conftest import build_tiny_netlist
+
+    job = LayoutJob(flow="manual", netlist=build_tiny_netlist())
+    runner = BatchRunner(cache_dir=tmp_path, workers=0)
+    outcome = runner.run_one(job)
+    assert outcome.status == "completed"
+    entry = ResultCache(tmp_path).peek(job)
+    assert entry is not None
+    assert entry.profile is not None
+    assert entry.profile["total_s"] >= 0
