@@ -302,6 +302,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="also append the structured JSON log to this file "
         "(implies --log-json plumbing; stderr stream only with --log-json)",
     )
+    serve.add_argument(
+        "--slo-availability", type=float, default=None, metavar="R",
+        help="availability objective as a fraction in (0, 1), e.g. 0.99 = "
+        "at most 1%% of admissions may be refused over the SLO window "
+        "(enables the SLO monitor, rfic_slo_* gauges and GET /slo)",
+    )
+    serve.add_argument(
+        "--slo-latency-p95", type=float, default=None, metavar="S",
+        help="latency objective: windowed p95 settle latency must stay "
+        "under S seconds (enables the SLO monitor)",
+    )
+    serve.add_argument(
+        "--slo-window", type=float, default=300.0, metavar="S",
+        help="rolling window the SLOs are evaluated over (default: 300)",
+    )
 
     submit = subparsers.add_parser(
         "submit", help="submit a job to a running service"
@@ -427,6 +442,57 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--metrics-dump", default=None, metavar="PATH",
         help="write the final /metrics Prometheus exposition to this file",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="operate on BENCH_*.json perf-trajectory snapshots"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_diff = bench_sub.add_parser(
+        "diff",
+        help="compare two snapshots with per-class tolerances; exits "
+        "non-zero on any regression (counters exact, timings by ratio)",
+    )
+    bench_diff.add_argument(
+        "baseline", help="baseline snapshot: a BENCH_*.json path or bare name"
+    )
+    bench_diff.add_argument(
+        "current", help="candidate snapshot: a BENCH_*.json path or bare name"
+    )
+    bench_diff.add_argument(
+        "--gate", action="store_true",
+        help="CI mode: additionally fail when the snapshots are not "
+        "comparable (different workload plan/config)",
+    )
+    bench_diff.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable diff document instead of the table",
+    )
+    bench_diff.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the machine-readable diff document to this file",
+    )
+    bench_diff.add_argument(
+        "--show-ok", action="store_true",
+        help="list every compared metric, not just warnings/regressions",
+    )
+    bench_diff.add_argument(
+        "--latency-warn", type=float, default=2.0, metavar="X",
+        help="warn when a latency-class metric is X times worse (default: 2)",
+    )
+    bench_diff.add_argument(
+        "--latency-fail", type=float, default=10.0, metavar="X",
+        help="fail when a latency-class metric is X times worse (default: 10)",
+    )
+    bench_diff.add_argument(
+        "--throughput-warn", type=float, default=2.0, metavar="X",
+        help="warn when a throughput-class metric is X times worse "
+        "(default: 2)",
+    )
+    bench_diff.add_argument(
+        "--throughput-fail", type=float, default=10.0, metavar="X",
+        help="fail when a throughput-class metric is X times worse "
+        "(default: 10)",
     )
 
     return parser
@@ -715,6 +781,19 @@ def _command_serve(args: argparse.Namespace) -> int:
     log_json = args.log_json or args.log_file is not None
     if log_json:
         LOG.configure(path=args.log_file)
+    slo = None
+    if args.slo_availability is not None or args.slo_latency_p95 is not None:
+        from repro.errors import ConfigurationError
+        from repro.obs.slo import SLOConfig
+
+        try:
+            slo = SLOConfig(
+                availability_objective=args.slo_availability,
+                latency_p95_target_s=args.slo_latency_p95,
+                window_s=args.slo_window,
+            )
+        except ConfigurationError as exc:
+            raise SystemExit(f"error: {exc}")
     service = LayoutService(
         data_dir=args.data_dir,
         cache_dir=args.cache_dir,
@@ -725,6 +804,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         class_limits=_parse_class_limits(args.class_limit),
         background_shed_ratio=args.shed_ratio,
         poison_threshold=args.poison_threshold,
+        slo=slo,
     )
     service.bind(host=args.host, port=args.port)
 
@@ -911,6 +991,29 @@ def _print_status(client, args: argparse.Namespace) -> int:
             f"restart(s), {supervision.get('crash_retries', 0)} crash retry(ies), "
             f"{supervision.get('poisoned', 0)} poisoned"
         )
+    slo = stats.get("slo") or {}
+    if slo.get("configured"):
+        parts = []
+        availability = slo.get("availability")
+        if availability:
+            parts.append(
+                f"availability {availability['ratio']:.1%} "
+                f"(objective {availability['objective']:.1%}, "
+                f"burn {availability['burn_rate']:.2f}x)"
+            )
+        latency = slo.get("latency")
+        if latency:
+            bounds = latency.get("p95_bounds_s")
+            if not bounds:
+                shown = "no samples"
+            elif bounds[1] is not None:
+                shown = f"<= {bounds[1]:g}s"
+            else:
+                shown = f"> {bounds[0]:g}s"
+            parts.append(f"p95 {shown} (target {latency['target_p95_s']:g}s)")
+        state = "ok" if slo.get("ok") else "VIOLATED"
+        joined = "; ".join(parts) if parts else "no objectives"
+        print(f"  slo: {state} over {slo.get('window_s', 0):g}s window — {joined}")
     health = stats.get("health") or {}
     if health:
         flags = []
@@ -1058,6 +1161,44 @@ def _command_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.loadgen import Thresholds, diff_snapshot_files
+
+    try:
+        thresholds = Thresholds(
+            latency_warn_ratio=args.latency_warn,
+            latency_fail_ratio=args.latency_fail,
+            throughput_warn_ratio=args.throughput_warn,
+            throughput_fail_ratio=args.throughput_fail,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    try:
+        report = diff_snapshot_files(args.baseline, args.current, thresholds)
+    except ConfigurationError as exc:
+        # Covers missing files, foreign schemas, and CorruptSnapshotError
+        # (whose message already says how to restore the file).
+        raise SystemExit(f"error: {exc}")
+    verdict = report.gate_verdict(gate=args.gate)
+    doc = report.to_dict()
+    doc["gate"] = args.gate
+    doc["gate_verdict"] = verdict
+    blob = json.dumps(doc, indent=2, sort_keys=True)
+    if args.report:
+        Path(args.report).write_text(blob + "\n", encoding="utf-8")
+    if args.json:
+        print(blob)
+    else:
+        print(report.to_text(show_ok=args.show_ok))
+        if verdict == "regression" and report.verdict != "regression":
+            print(
+                "gate: FAILED — plan mismatch, the snapshots measured "
+                "different experiments (re-baseline or fix the workload)"
+            )
+    return 1 if verdict == "regression" else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``rfic-layout`` console script."""
     parser = build_parser()
@@ -1073,6 +1214,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "status": _command_status,
         "trace": _command_trace,
         "loadtest": _command_loadtest,
+        "bench": _command_bench,
     }
     return handlers[args.command](args)
 

@@ -20,12 +20,22 @@ Layers
     The ``BENCH_*.json`` envelope: write/load/compare.
 :mod:`repro.loadgen.harness`
     :func:`run_load_test` — boot, drive, measure, reconcile.
+:mod:`repro.loadgen.compare`
+    :func:`compare_snapshots` — the regression gate over two snapshots.
 """
 
+from repro.loadgen.compare import (
+    DiffEntry,
+    DiffReport,
+    Thresholds,
+    compare_snapshots,
+    diff_snapshot_files,
+)
 from repro.loadgen.harness import LoadReport, LoadTestConfig, run_load_test
 from repro.loadgen.metrics import DepthSampler, percentile, summarize
 from repro.loadgen.snapshot import (
     BENCH_DIR_ENV,
+    CorruptSnapshotError,
     SNAPSHOT_SCHEMA,
     SNAPSHOT_SCHEMA_VERSION,
     load_snapshot,
@@ -36,13 +46,19 @@ from repro.loadgen.workload import PlannedSubmission, WorkloadSpec
 
 __all__ = [
     "BENCH_DIR_ENV",
+    "CorruptSnapshotError",
     "DepthSampler",
+    "DiffEntry",
+    "DiffReport",
     "LoadReport",
     "LoadTestConfig",
     "PlannedSubmission",
     "SNAPSHOT_SCHEMA",
     "SNAPSHOT_SCHEMA_VERSION",
+    "Thresholds",
     "WorkloadSpec",
+    "compare_snapshots",
+    "diff_snapshot_files",
     "load_snapshot",
     "percentile",
     "run_load_test",

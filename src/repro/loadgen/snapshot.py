@@ -16,8 +16,16 @@ Envelope (``schema_version`` 1)::
       "created_unix": 1721998800.5,
       "python": "3.11.9",
       "platform": "Linux-...",
+      "host": "ci-runner-3",
+      "repro_version": "1.0.0",
       "data": { ... benchmark-specific payload ... }
     }
+
+``host`` and ``repro_version`` are provenance, added within schema
+version 1: absent in old files (readers get ``None`` via ``.get``), never
+validated, only *reported* — ``bench diff`` warns when the two sides of a
+comparison came from different machines, because timing classes are only
+honest within one.
 
 Only the envelope is versioned here; each benchmark owns its ``data``
 layout.  Files land in the repository root by default (``BENCH_<name>.json``)
@@ -31,14 +39,17 @@ from __future__ import annotations
 import json
 import os
 import platform
+import socket
 import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro import __version__ as _REPRO_VERSION
 from repro.errors import ConfigurationError
 
 __all__ = [
     "BENCH_DIR_ENV",
+    "CorruptSnapshotError",
     "SNAPSHOT_SCHEMA",
     "SNAPSHOT_SCHEMA_VERSION",
     "load_snapshot",
@@ -53,6 +64,16 @@ SNAPSHOT_SCHEMA_VERSION = 1
 BENCH_DIR_ENV = "RFIC_BENCH_DIR"
 
 PathLike = Union[str, Path]
+
+
+class CorruptSnapshotError(ConfigurationError):
+    """A snapshot file exists but does not parse (torn/truncated write).
+
+    Subclasses :class:`ConfigurationError` so existing handlers keep
+    working, but is distinct so callers (``bench diff``, CI gates) can
+    tell "the baseline is damaged — regenerate or restore it" apart from
+    "you pointed me at the wrong file".
+    """
 
 
 def bench_dir(explicit: Optional[PathLike] = None) -> Path:
@@ -86,6 +107,8 @@ def write_snapshot(
         "created_unix": time.time(),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "host": socket.gethostname(),
+        "repro_version": _REPRO_VERSION,
         "data": data,
     }
     target = snapshot_path(name, directory)
@@ -119,8 +142,16 @@ def load_snapshot(
         envelope = json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError:
         raise ConfigurationError(f"no benchmark snapshot at {path}") from None
-    except json.JSONDecodeError as exc:
-        raise ConfigurationError(f"corrupt benchmark snapshot {path}: {exc}") from None
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        # A torn/truncated file is a *recoverable* state, not a config
+        # mistake: the writer is atomic, so this means the file was
+        # damaged after the fact (bad checkout, disk trouble, manual
+        # edit).  Say exactly what to do about it.
+        raise CorruptSnapshotError(
+            f"corrupt benchmark snapshot {path}: {exc} — the file is torn "
+            "or truncated; restore it (git checkout -- <file>) or "
+            "regenerate it with the producing benchmark"
+        ) from None
     if not isinstance(envelope, dict) or envelope.get("schema") != SNAPSHOT_SCHEMA:
         raise ConfigurationError(f"{path} is not an {SNAPSHOT_SCHEMA!r} snapshot")
     version = envelope.get("schema_version")

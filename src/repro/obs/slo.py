@@ -1,0 +1,225 @@
+"""Rolling-window SLO evaluation over the metrics registry.
+
+The registry (PR 8) records *totals since boot*; an objective is a claim
+about the *recent past* — "99% of admissions succeeded over the last
+five minutes".  This module bridges the two with the textbook
+cumulative-counter technique: periodically snapshot the monotonic totals
+(:class:`SLOPoint`), keep a bounded window of those snapshots, and
+evaluate objectives on the *delta* between the window's oldest retained
+point and the live totals.
+
+Three objectives, all derived from counters the scheduler already
+maintains:
+
+availability
+    ``good / (good + bad)`` over the window, where good is admitted
+    submissions and bad is 429-class rejections + sheds.  No traffic in
+    the window counts as meeting the objective (an idle service is not
+    failing anyone).
+error-budget burn rate
+    ``bad_fraction / (1 - objective)`` — the standard multiplier: 1.0
+    burns the budget exactly at the sustainable rate, 10.0 exhausts a
+    monthly budget in ~3 days.  Zero when the window saw no traffic.
+latency
+    Windowed p95 from *histogram bucket deltas* (subtracting two
+    cumulative snapshots yields the histogram of just the window), with
+    :func:`~repro.obs.metrics.histogram_quantile` bounds.  Bucket
+    resolution means p95 is an interval, not a number: the objective is
+    only *violated* when the interval's lower bound already exceeds the
+    target — a target falling inside the p95 bucket gets the benefit of
+    the doubt rather than a flapping alarm.
+
+Time comes from :data:`repro.obs.trace.CLOCK`, so tests install a fake
+clock and pin the burn-rate arithmetic exactly.  The monitor itself owns
+no thread; the scheduler runs the sampling loop, and only when an
+objective is actually configured (:attr:`SLOConfig.configured`) — the
+whole subsystem is off-cost otherwise.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import histogram_quantile
+from repro.obs.trace import CLOCK
+
+__all__ = ["SLOConfig", "SLOMonitor", "SLOPoint"]
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Objectives for the daemon; all optional, all off by default."""
+
+    #: Target fraction of admissions that must succeed (e.g. ``0.99``).
+    availability_objective: Optional[float] = None
+    #: Target upper bound for windowed p95 settle latency, seconds.
+    latency_p95_target_s: Optional[float] = None
+    #: Rolling-window width the objectives are evaluated over.
+    window_s: float = 300.0
+    #: How often the scheduler's sampler thread records a point.
+    sample_interval_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.availability_objective is not None and not (
+            0.0 < self.availability_objective < 1.0
+        ):
+            raise ConfigurationError(
+                "availability objective must be in (0, 1), got "
+                f"{self.availability_objective}"
+            )
+        if (
+            self.latency_p95_target_s is not None
+            and self.latency_p95_target_s <= 0
+        ):
+            raise ConfigurationError("latency p95 target must be positive")
+        if self.window_s <= 0 or self.sample_interval_s <= 0:
+            raise ConfigurationError("SLO window and interval must be positive")
+        if self.sample_interval_s > self.window_s:
+            raise ConfigurationError(
+                "sample interval must not exceed the SLO window"
+            )
+
+    @property
+    def configured(self) -> bool:
+        return (
+            self.availability_objective is not None
+            or self.latency_p95_target_s is not None
+        )
+
+
+@dataclass(frozen=True)
+class SLOPoint:
+    """One snapshot of the monotonic totals the objectives read."""
+
+    at: float
+    good_total: float
+    bad_total: float
+    #: Cumulative ``[le, count]`` pairs from the latency histogram
+    #: snapshot (final entry is ``+Inf``); empty when no histogram.
+    latency_buckets: Tuple[Tuple[float, float], ...]
+    latency_count: int
+
+    @staticmethod
+    def capture(
+        good_total: float,
+        bad_total: float,
+        latency_buckets: Sequence[Sequence[float]] = (),
+        latency_count: int = 0,
+    ) -> "SLOPoint":
+        return SLOPoint(
+            at=CLOCK.time(),
+            good_total=float(good_total),
+            bad_total=float(bad_total),
+            latency_buckets=tuple(
+                (float(le), float(count)) for le, count in latency_buckets
+            ),
+            latency_count=int(latency_count),
+        )
+
+
+class SLOMonitor:
+    """Window of :class:`SLOPoint` samples plus the objective math.
+
+    :meth:`record` stores a point (the scheduler's sampler loop);
+    :meth:`evaluate` compares live totals against the window baseline
+    without storing anything, so every ``metrics_snapshot()`` gets a
+    fresh verdict regardless of the sampling cadence.
+    """
+
+    def __init__(self, config: SLOConfig) -> None:
+        self.config = config
+        self._lock = threading.Lock()
+        self._points: Deque[SLOPoint] = deque()
+
+    # -- sampling ------------------------------------------------------ #
+
+    def record(self, point: SLOPoint) -> None:
+        with self._lock:
+            self._points.append(point)
+            self._prune(point.at)
+
+    def _prune(self, now: float) -> None:
+        # Keep everything inside the window plus ONE older point: that
+        # straggler is the baseline that makes the delta span the full
+        # window instead of shrinking to whatever happens to be retained.
+        horizon = now - self.config.window_s
+        while len(self._points) >= 2 and self._points[1].at <= horizon:
+            self._points.popleft()
+
+    def _baseline(self, point: SLOPoint) -> SLOPoint:
+        with self._lock:
+            self._prune(point.at)
+            if not self._points:
+                # Nothing recorded yet (evaluate before the first sample
+                # tick): the point is its own baseline — zero deltas,
+                # objectives trivially met.
+                return point
+            return self._points[0]
+
+    # -- evaluation ---------------------------------------------------- #
+
+    def evaluate(self, point: SLOPoint) -> Dict[str, object]:
+        """Objective verdicts for the window ending at ``point``."""
+        base = self._baseline(point)
+        doc: Dict[str, object] = {
+            "configured": True,
+            "window_s": self.config.window_s,
+            "window_span_s": round(max(0.0, point.at - base.at), 3),
+        }
+        overall_ok = True
+        objective = self.config.availability_objective
+        if objective is not None:
+            good = max(0.0, point.good_total - base.good_total)
+            bad = max(0.0, point.bad_total - base.bad_total)
+            total = good + bad
+            if total > 0:
+                ratio = good / total
+                burn = (bad / total) / (1.0 - objective)
+            else:
+                ratio = 1.0
+                burn = 0.0
+            ok = ratio >= objective
+            overall_ok = overall_ok and ok
+            doc["availability"] = {
+                "objective": objective,
+                "ratio": round(ratio, 6),
+                "good": good,
+                "bad": bad,
+                "burn_rate": round(burn, 6),
+                "ok": ok,
+            }
+        target = self.config.latency_p95_target_s
+        if target is not None:
+            delta_count = max(0, point.latency_count - base.latency_count)
+            bounds = _window_p95(base, point, delta_count)
+            # Violated only when the whole p95 bucket sits past the
+            # target; an interval straddling the target is inconclusive
+            # and must not flap the alarm.
+            ok = bounds is None or bounds[0] < target
+            overall_ok = overall_ok and ok
+            doc["latency"] = {
+                "target_p95_s": target,
+                "count": delta_count,
+                "p95_bounds_s": list(bounds) if bounds else None,
+                "ok": ok,
+            }
+        doc["ok"] = overall_ok
+        return doc
+
+
+def _window_p95(
+    base: SLOPoint, point: SLOPoint, delta_count: int
+) -> Optional[Tuple[float, float]]:
+    """p95 bounds of the observations that landed inside the window."""
+    if delta_count <= 0 or not point.latency_buckets:
+        return None
+    base_by_le = {le: count for le, count in base.latency_buckets}
+    delta: List[List[float]] = [
+        [le, count - base_by_le.get(le, 0.0)]
+        for le, count in point.latency_buckets
+    ]
+    return histogram_quantile(delta, delta_count, 0.95)

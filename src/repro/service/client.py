@@ -348,6 +348,10 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         return self._json("/stats")
 
+    def slo(self) -> Dict[str, object]:
+        """The rolling-window objective verdicts (``GET /slo``)."""
+        return self._json("/slo")
+
     def metrics_text(self) -> str:
         """Raw ``GET /metrics`` Prometheus text exposition."""
         with self._request("/metrics") as response:

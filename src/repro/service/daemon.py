@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.obs.logging import LOG
+from repro.obs.slo import SLOConfig
 from repro.runner.cache import ResultCache
 from repro.service.http import LayoutHTTPServer, make_server
 from repro.service.queue import JobQueue
@@ -44,6 +45,7 @@ class LayoutService:
         class_limits: Optional[dict] = None,
         background_shed_ratio: float = 0.5,
         poison_threshold: int = 3,
+        slo: Optional[SLOConfig] = None,
     ) -> None:
         self.data_dir = Path(data_dir)
         self.cache = ResultCache(cache_dir if cache_dir is not None else self.data_dir / "cache")
@@ -58,6 +60,7 @@ class LayoutService:
             class_limits=class_limits,
             background_shed_ratio=background_shed_ratio,
             poison_threshold=poison_threshold,
+            slo=slo,
         )
         self.server: Optional[LayoutHTTPServer] = None
         self._server_lock = threading.Lock()

@@ -40,7 +40,13 @@ Endpoints
     Derived from the same registry snapshot as ``GET /metrics``.
 ``GET /metrics``
     Prometheus text exposition (version 0.0.4) of the metrics registry:
-    job/admission counters, queue gauges and latency/stage histograms.
+    job/admission counters, queue gauges and latency/stage histograms,
+    plus the ``rfic_slo_*`` gauges when objectives are configured.
+``GET /slo``
+    Rolling-window objective verdicts (availability ratio, error-budget
+    burn rate, windowed p95 bounds) derived from the same registry
+    snapshot as ``/stats``/``/metrics``; ``{"configured": false}`` when
+    no objectives are set.
 ``GET /healthz``
     Liveness: always ``200``; the body carries degradation flags
     (journal/cache write failures) and supervision counters.
@@ -156,6 +162,8 @@ class _Handler(BaseHTTPRequestHandler):
             path = raw_path.rstrip("/") or "/"
             if path == "/stats":
                 self._send_json(self.scheduler.stats())
+            elif path == "/slo":
+                self._send_json(self.scheduler.slo_document())
             elif path == "/metrics":
                 text = render_prometheus(self.scheduler.metrics_snapshot())
                 self._send_bytes(

@@ -53,6 +53,7 @@ Robustness layer (PR 6)
 
 from __future__ import annotations
 
+import math
 import queue as queue_module
 import threading
 import time
@@ -62,6 +63,7 @@ from repro.errors import ReproError
 from repro.faults import FAULTS
 from repro.obs.logging import LOG
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.slo import SLOConfig, SLOMonitor, SLOPoint
 from repro.obs.trace import CLOCK, Span, TraceStore, mint_trace_id
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import LayoutJob
@@ -297,6 +299,7 @@ class LayoutScheduler:
         class_limits: Optional[Dict[str, int]] = None,
         background_shed_ratio: float = 0.5,
         poison_threshold: int = 3,
+        slo: Optional[SLOConfig] = None,
     ) -> None:
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
@@ -348,6 +351,9 @@ class LayoutScheduler:
                  "Submissions that joined an in-flight identical job"),
                 ("_failed", "rfic_jobs_failed_total",
                  "Jobs settled as failed/timeout/cancelled"),
+                ("_admitted", "rfic_admission_admitted_total",
+                 "Submissions answered successfully (queued, attached, or "
+                 "served from cache) — the SLO availability numerator"),
                 ("_rejected", "rfic_admission_rejected_total",
                  "Submissions refused by queue bounds"),
                 ("_shed", "rfic_admission_shed_total",
@@ -382,6 +388,14 @@ class LayoutScheduler:
             )
             for stage in ("queue_wait", "solve", "overhead")
         }
+        #: SLO objectives (PR 9).  The monitor and its sampler thread
+        #: exist only when an objective is actually configured — the
+        #: default daemon pays nothing for this subsystem.
+        self.slo_config = slo or SLOConfig()
+        self._slo_monitor: Optional[SLOMonitor] = (
+            SLOMonitor(self.slo_config) if self.slo_config.configured else None
+        )
+        self._slo_thread: Optional[threading.Thread] = None
 
     def _bump(self, counter: str, amount: int = 1) -> None:
         """Atomically increment one of the stats counters."""
@@ -404,6 +418,10 @@ class LayoutScheduler:
     @property
     def _failed(self) -> int:
         return int(self._counters["_failed"].value)
+
+    @property
+    def _admitted(self) -> int:
+        return int(self._counters["_admitted"].value)
 
     @property
     def _rejected(self) -> int:
@@ -440,6 +458,14 @@ class LayoutScheduler:
             )
             thread.start()
             self._threads.append(thread)
+        if self._slo_monitor is not None and self._slo_thread is None:
+            # Deliberately NOT in self._threads: health() counts
+            # dispatchers_alive from that list, and the sampler is not a
+            # dispatcher.
+            self._slo_thread = threading.Thread(
+                target=self._slo_sampler, name="slo-sampler", daemon=True
+            )
+            self._slo_thread.start()
 
     def stop(self, timeout: float = 10.0) -> None:
         """Stop dispatching.  Jobs already running finish and settle."""
@@ -449,6 +475,9 @@ class LayoutScheduler:
         for thread in self._threads:
             thread.join(timeout=timeout)
         self._threads = []
+        if self._slo_thread is not None:
+            self._slo_thread.join(timeout=timeout)
+            self._slo_thread = None
 
     def begin_drain(self) -> None:
         """Stop admitting work; everything else keeps running."""
@@ -526,6 +555,9 @@ class LayoutScheduler:
                 job, document, key, priority, client, trace,
                 admit_wall, admit_perf,
             )
+        # Every disposition that reaches here answered the caller (429s
+        # raised out of _admit): the SLO availability numerator.
+        self._bump("_admitted")
         LOG.log(
             "job.submit",
             trace=record.trace_id or trace,
@@ -1163,7 +1195,149 @@ class LayoutScheduler:
         m.gauge("rfic_dispatchers", "Configured dispatcher threads").set(
             self.concurrency
         )
+        self._refresh_slo_gauges()
         return m.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # SLO evaluation
+    # ------------------------------------------------------------------ #
+
+    def _slo_point(self) -> SLOPoint:
+        """Current monotonic totals as one SLO sample."""
+        latency = self._latency_hist.snapshot()
+        return SLOPoint.capture(
+            good_total=self._admitted,
+            bad_total=self._rejected + self._shed,
+            latency_buckets=latency["buckets"],  # type: ignore[arg-type]
+            latency_count=int(latency["count"]),  # type: ignore[call-overload]
+        )
+
+    def _slo_sampler(self) -> None:
+        """Sampler loop: one windowed baseline point per interval."""
+        monitor = self._slo_monitor
+        assert monitor is not None
+        monitor.record(self._slo_point())
+        while not self._stop.wait(self.slo_config.sample_interval_s):
+            monitor.record(self._slo_point())
+
+    def _refresh_slo_gauges(self) -> None:
+        """Evaluate the objectives and publish them as ``rfic_slo_*``.
+
+        Runs inside :meth:`metrics_snapshot` *before* the registry
+        snapshot is taken, so ``/metrics``, ``/stats`` and ``/slo`` all
+        read one coherent verdict — the one-snapshot invariant extends
+        to the SLO layer.
+        """
+        monitor = self._slo_monitor
+        if monitor is None:
+            return
+        doc = monitor.evaluate(self._slo_point())
+        m = self.metrics
+
+        def gauge(name: str, help_text: str, value: float) -> None:
+            m.gauge(name, help_text).set(value)
+
+        gauge("rfic_slo_ok", "1 when every configured objective is met",
+              1.0 if doc["ok"] else 0.0)
+        gauge("rfic_slo_window_seconds", "Configured SLO evaluation window",
+              self.slo_config.window_s)
+        gauge("rfic_slo_window_span_seconds",
+              "Actual span covered by the retained samples",
+              float(doc["window_span_s"]))  # type: ignore[arg-type]
+        availability = doc.get("availability")
+        if isinstance(availability, dict):
+            gauge("rfic_slo_availability_objective",
+                  "Target fraction of admissions that must succeed",
+                  float(availability["objective"]))
+            gauge("rfic_slo_availability_ratio",
+                  "Windowed fraction of admissions that succeeded",
+                  float(availability["ratio"]))
+            gauge("rfic_slo_error_budget_burn_rate",
+                  "Windowed bad fraction over the error budget; 1.0 burns "
+                  "the budget exactly at the sustainable rate",
+                  float(availability["burn_rate"]))
+            gauge("rfic_slo_window_good",
+                  "Successful admissions inside the window",
+                  float(availability["good"]))
+            gauge("rfic_slo_window_bad",
+                  "429-class refusals inside the window",
+                  float(availability["bad"]))
+        latency = doc.get("latency")
+        if isinstance(latency, dict):
+            bounds = latency["p95_bounds_s"]
+            gauge("rfic_slo_latency_target_s",
+                  "Target upper bound for windowed p95 settle latency",
+                  float(latency["target_p95_s"]))
+            gauge("rfic_slo_latency_ok",
+                  "1 unless the windowed p95 bucket wholly exceeds the "
+                  "target", 1.0 if latency["ok"] else 0.0)
+            gauge("rfic_slo_window_latency_count",
+                  "Latency observations inside the window",
+                  float(latency["count"]))
+            gauge("rfic_slo_latency_p95_lower_s",
+                  "Lower bound of the bucket holding the windowed p95",
+                  float(bounds[0]) if bounds else 0.0)
+            gauge("rfic_slo_latency_p95_s",
+                  "Upper bound of the bucket holding the windowed p95 "
+                  "(+Inf when p95 sits in the overflow bucket)",
+                  float(bounds[1]) if bounds else 0.0)
+
+    def _slo_from_snapshot(
+        self, snapshot: Dict[str, Dict[str, object]]
+    ) -> Dict[str, object]:
+        """The ``GET /slo`` document, read back from ``rfic_slo_*`` gauges.
+
+        Deriving from the snapshot (not from a fresh evaluation) is what
+        makes ``/slo``, ``/stats`` and ``/metrics`` provably agree: all
+        three are projections of the same registry snapshot.
+        """
+        if self._slo_monitor is None:
+            return {"configured": False}
+
+        def value(name: str) -> float:
+            return self._snapshot_value(snapshot, name)
+
+        doc: Dict[str, object] = {
+            "configured": True,
+            "window_s": value("rfic_slo_window_seconds"),
+            "window_span_s": round(value("rfic_slo_window_span_seconds"), 3),
+            "ok": value("rfic_slo_ok") >= 1.0,
+        }
+        if self.slo_config.availability_objective is not None:
+            objective = value("rfic_slo_availability_objective")
+            ratio = value("rfic_slo_availability_ratio")
+            doc["availability"] = {
+                "objective": objective,
+                "ratio": ratio,
+                "good": value("rfic_slo_window_good"),
+                "bad": value("rfic_slo_window_bad"),
+                "burn_rate": value("rfic_slo_error_budget_burn_rate"),
+                "ok": ratio >= objective,
+            }
+        if self.slo_config.latency_p95_target_s is not None:
+            count = int(value("rfic_slo_window_latency_count"))
+            bounds: Optional[List[Optional[float]]] = None
+            if count > 0:
+                upper = value("rfic_slo_latency_p95_s")
+                # inf is not valid JSON; an unbounded p95 bucket reads
+                # as null upper bound in the document.
+                bounds = [
+                    value("rfic_slo_latency_p95_lower_s"),
+                    upper if not math.isinf(upper) else None,
+                ]
+            doc["latency"] = {
+                "target_p95_s": value("rfic_slo_latency_target_s"),
+                "count": count,
+                "p95_bounds_s": bounds,
+                "ok": value("rfic_slo_latency_ok") >= 1.0,
+            }
+        return doc
+
+    def slo_document(self) -> Dict[str, object]:
+        """The ``GET /slo`` document (one registry snapshot)."""
+        if self._slo_monitor is None:
+            return {"configured": False}
+        return self._slo_from_snapshot(self.metrics_snapshot())
 
     @staticmethod
     def _snapshot_value(
@@ -1206,6 +1380,7 @@ class LayoutScheduler:
 
         def counter(attr: str) -> int:
             name = {
+                "_admitted": "rfic_admission_admitted_total",
                 "_solved": "rfic_jobs_solved_total",
                 "_served_from_cache": "rfic_jobs_served_from_cache_total",
                 "_attached": "rfic_jobs_attached_total",
@@ -1269,6 +1444,7 @@ class LayoutScheduler:
                 "class_limits": dict(self.class_limits),
                 "background_shed_ratio": self.background_shed_ratio,
                 "pending_by_class": pending,
+                "admitted": counter("_admitted"),
                 "rejected": counter("_rejected"),
                 "shed": counter("_shed"),
                 "retry_after_hint_s": round(
@@ -1295,6 +1471,7 @@ class LayoutScheduler:
                     for stage in ("queue_wait", "solve", "overhead")
                 },
             },
+            "slo": self._slo_from_snapshot(snapshot),
             "health": self.health(),
         }
 

@@ -7,6 +7,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.loadgen import (
     BENCH_DIR_ENV,
+    CorruptSnapshotError,
     SNAPSHOT_SCHEMA,
     SNAPSHOT_SCHEMA_VERSION,
     load_snapshot,
@@ -46,6 +47,33 @@ class TestRoundTrip:
         assert load_snapshot("via_env")["data"] == {"k": 2}
 
 
+class TestProvenance:
+    def test_envelope_carries_host_and_version(self, tmp_path):
+        import socket
+
+        from repro import __version__
+
+        envelope = load_snapshot(
+            write_snapshot("prov", {"k": 1}, directory=tmp_path)
+        )
+        assert envelope["host"] == socket.gethostname()
+        assert envelope["repro_version"] == __version__
+        # Provenance rides inside schema_version 1: old readers ignore
+        # the extra keys, old files simply lack them.
+        assert envelope["schema_version"] == SNAPSHOT_SCHEMA_VERSION == 1
+
+    def test_pre_provenance_snapshot_still_loads(self, tmp_path):
+        path = write_snapshot("old", {"k": 1}, directory=tmp_path)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        del envelope["host"]
+        del envelope["repro_version"]
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        loaded = load_snapshot(path)
+        assert loaded.get("host") is None
+        assert loaded.get("repro_version") is None
+        assert loaded["data"] == {"k": 1}
+
+
 class TestValidation:
     @pytest.mark.parametrize("name", ["", "a/b", "..\\evil"])
     def test_bad_names_rejected(self, name, tmp_path):
@@ -60,6 +88,26 @@ class TestValidation:
         bad = tmp_path / "BENCH_bad.json"
         bad.write_text("{not json", encoding="utf-8")
         with pytest.raises(ConfigurationError, match="corrupt"):
+            load_snapshot(bad)
+
+    def test_torn_file_raises_distinct_actionable_error(self, tmp_path):
+        # A truncated write is the classic torn-snapshot shape: valid
+        # prefix, missing tail.
+        path = write_snapshot("torn", {"k": list(range(100))}, directory=tmp_path)
+        blob = path.read_text(encoding="utf-8")
+        path.write_text(blob[: len(blob) // 2], encoding="utf-8")
+        with pytest.raises(CorruptSnapshotError) as excinfo:
+            load_snapshot(path)
+        message = str(excinfo.value)
+        assert "torn or truncated" in message
+        assert "regenerate" in message
+        # Distinct type, but still a ConfigurationError for old handlers.
+        assert isinstance(excinfo.value, ConfigurationError)
+
+    def test_binary_garbage_is_corrupt_not_a_crash(self, tmp_path):
+        bad = tmp_path / "BENCH_garbage.json"
+        bad.write_bytes(b"\xff\xfe\x00garbage\x80")
+        with pytest.raises(CorruptSnapshotError, match="corrupt"):
             load_snapshot(bad)
 
     def test_foreign_document_rejected(self, tmp_path):

@@ -164,3 +164,43 @@ class TestHistogramQuantile:
     def test_quantile_out_of_range_rejected(self):
         with pytest.raises(ValueError):
             histogram_quantile([[math.inf, 1]], 1, 1.5)
+        with pytest.raises(ValueError):
+            histogram_quantile([[math.inf, 1]], 1, -0.01)
+
+    # The SLO monitor leans on these paths harder than /stats ever did:
+    # windowed bucket *deltas* routinely produce empty, overflow-only,
+    # and boundary-quantile shapes.
+
+    def test_empty_buckets_with_zero_count(self):
+        # An all-zero cumulative list (a window delta with no traffic)
+        # must read as "no data", exactly like a missing histogram.
+        buckets = [[0.1, 0], [1.0, 0], [math.inf, 0]]
+        assert histogram_quantile(buckets, 0, 0.95) is None
+
+    def test_all_observations_in_overflow_bucket(self):
+        # Every observation past the last finite bound: the quantile
+        # bracket is (last_bound, inf) for any q — an unbounded upper
+        # bound the SLO layer must treat as "cannot prove it's fast".
+        buckets = [[0.1, 0], [1.0, 0], [math.inf, 7]]
+        assert histogram_quantile(buckets, 7, 0.5) == (1.0, math.inf)
+        assert histogram_quantile(buckets, 7, 0.95) == (1.0, math.inf)
+
+    def test_quantile_zero_bound(self):
+        # q=0 has rank 0: the first non-empty bucket brackets it.
+        buckets = [[0.1, 0], [1.0, 4], [math.inf, 10]]
+        assert histogram_quantile(buckets, 10, 0.0) == (0.1, 1.0)
+
+    def test_quantile_one_bound(self):
+        # q=1 has rank == count: the bucket holding the max observation.
+        buckets = [[0.1, 2], [1.0, 8], [math.inf, 10]]
+        assert histogram_quantile(buckets, 10, 1.0) == (1.0, math.inf)
+        # ...and when everything fits under a finite bound, q=1 stays
+        # finite too.
+        buckets = [[0.1, 2], [1.0, 10], [math.inf, 10]]
+        assert histogram_quantile(buckets, 10, 1.0) == (0.1, 1.0)
+
+    def test_single_observation_histogram(self):
+        buckets = [[0.1, 1], [1.0, 1], [math.inf, 1]]
+        assert histogram_quantile(buckets, 1, 0.0) == (0.0, 0.1)
+        assert histogram_quantile(buckets, 1, 0.95) == (0.0, 0.1)
+        assert histogram_quantile(buckets, 1, 1.0) == (0.0, 0.1)

@@ -1,0 +1,211 @@
+"""SLO monitor math, pinned exactly under an injected clock."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
+from repro.obs.slo import SLOConfig, SLOMonitor, SLOPoint
+from repro.obs.trace import CLOCK
+
+
+@pytest.fixture
+def clock():
+    state = {"now": 1000.0}
+    CLOCK.install(wall=lambda: state["now"], monotonic=lambda: state["now"])
+    yield state
+    CLOCK.clear()
+
+
+def buckets(*observations):
+    """Cumulative [le, count] pairs as a Histogram snapshot would emit."""
+    counts = [0] * (len(DEFAULT_LATENCY_BUCKETS) + 1)
+    for value in observations:
+        slot = len(DEFAULT_LATENCY_BUCKETS)
+        for i, bound in enumerate(DEFAULT_LATENCY_BUCKETS):
+            if value <= bound:
+                slot = i
+                break
+        counts[slot] += 1
+    cumulative, running = [], 0
+    for bound, count in zip(DEFAULT_LATENCY_BUCKETS, counts):
+        running += count
+        cumulative.append([bound, running])
+    cumulative.append([math.inf, running + counts[-1]])
+    return cumulative
+
+
+def point(good, bad, observations=()):
+    return SLOPoint.capture(
+        good_total=good,
+        bad_total=bad,
+        latency_buckets=buckets(*observations),
+        latency_count=len(observations),
+    )
+
+
+class TestConfig:
+    def test_unconfigured_by_default(self):
+        assert not SLOConfig().configured
+
+    def test_either_objective_configures(self):
+        assert SLOConfig(availability_objective=0.99).configured
+        assert SLOConfig(latency_p95_target_s=5.0).configured
+
+    @pytest.mark.parametrize("objective", [0.0, 1.0, -0.5, 1.5])
+    def test_bad_availability_rejected(self, objective):
+        with pytest.raises(ConfigurationError):
+            SLOConfig(availability_objective=objective)
+
+    def test_bad_latency_and_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SLOConfig(latency_p95_target_s=0.0)
+        with pytest.raises(ConfigurationError):
+            SLOConfig(window_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            SLOConfig(window_s=10.0, sample_interval_s=60.0)
+
+
+class TestBurnRate:
+    def test_burn_rate_math_pinned(self, clock):
+        # Objective 0.9 leaves a 10% error budget.  90 good + 10 bad in
+        # the window is a 10% bad fraction: burning the budget at exactly
+        # the sustainable rate, burn = 1.0.
+        monitor = SLOMonitor(SLOConfig(availability_objective=0.9))
+        monitor.record(point(0, 0))
+        clock["now"] = 1060.0
+        doc = monitor.evaluate(point(90, 10))
+        availability = doc["availability"]
+        assert availability["ratio"] == pytest.approx(0.9)
+        assert availability["burn_rate"] == pytest.approx(1.0)
+        assert availability["good"] == 90
+        assert availability["bad"] == 10
+        assert availability["ok"] is True  # ratio meets the objective
+        assert doc["window_span_s"] == pytest.approx(60.0)
+
+    def test_burn_rate_scales_with_bad_fraction(self, clock):
+        # 30% bad against a 10% budget burns 3x sustainable; the
+        # objective is violated outright.
+        monitor = SLOMonitor(SLOConfig(availability_objective=0.9))
+        monitor.record(point(0, 0))
+        clock["now"] = 1060.0
+        doc = monitor.evaluate(point(70, 30))
+        availability = doc["availability"]
+        assert availability["burn_rate"] == pytest.approx(3.0)
+        assert availability["ok"] is False
+        assert doc["ok"] is False
+
+    def test_idle_window_meets_objective(self, clock):
+        monitor = SLOMonitor(SLOConfig(availability_objective=0.999))
+        monitor.record(point(500, 5))
+        clock["now"] = 1100.0
+        # No traffic since the baseline: nothing was failed.
+        doc = monitor.evaluate(point(500, 5))
+        availability = doc["availability"]
+        assert availability["ratio"] == 1.0
+        assert availability["burn_rate"] == 0.0
+        assert doc["ok"] is True
+
+    def test_window_excludes_ancient_failures(self, clock):
+        # 100 bad admissions long ago must roll out of the window: only
+        # deltas against the retained baseline count.
+        monitor = SLOMonitor(
+            SLOConfig(availability_objective=0.9, window_s=300.0)
+        )
+        monitor.record(point(0, 100))
+        clock["now"] = 1200.0
+        monitor.record(point(50, 100))
+        clock["now"] = 1700.0  # first point now older than the window
+        doc = monitor.evaluate(point(150, 100))
+        availability = doc["availability"]
+        assert availability["bad"] == 0
+        assert availability["ratio"] == 1.0
+
+    def test_evaluate_before_any_sample_is_trivially_ok(self, clock):
+        monitor = SLOMonitor(SLOConfig(availability_objective=0.9))
+        doc = monitor.evaluate(point(10, 90))
+        # The point is its own baseline: zero deltas, no verdict drama.
+        assert doc["availability"]["ratio"] == 1.0
+        assert doc["ok"] is True
+
+
+class TestLatencyObjective:
+    def test_windowed_p95_within_target(self, clock):
+        monitor = SLOMonitor(SLOConfig(latency_p95_target_s=5.0))
+        monitor.record(point(0, 0))
+        clock["now"] = 1060.0
+        doc = monitor.evaluate(point(40, 0, observations=[0.2] * 20))
+        latency = doc["latency"]
+        assert latency["count"] == 20
+        lower, upper = latency["p95_bounds_s"]
+        assert lower < 0.2 <= upper
+        assert latency["ok"] is True
+
+    def test_p95_bucket_wholly_past_target_violates(self, clock):
+        monitor = SLOMonitor(SLOConfig(latency_p95_target_s=1.0))
+        monitor.record(point(0, 0))
+        clock["now"] = 1060.0
+        doc = monitor.evaluate(point(40, 0, observations=[8.0] * 20))
+        latency = doc["latency"]
+        assert latency["p95_bounds_s"][0] >= 1.0
+        assert latency["ok"] is False
+        assert doc["ok"] is False
+
+    def test_target_inside_p95_bucket_gets_benefit_of_doubt(self, clock):
+        # Observations land in the (2.5, 5.0] bucket; a 3s target falls
+        # inside it.  Inconclusive must not flap the alarm.
+        monitor = SLOMonitor(SLOConfig(latency_p95_target_s=3.0))
+        monitor.record(point(0, 0))
+        clock["now"] = 1060.0
+        doc = monitor.evaluate(point(40, 0, observations=[4.0] * 20))
+        latency = doc["latency"]
+        lower, upper = latency["p95_bounds_s"]
+        assert lower < 3.0 <= upper
+        assert latency["ok"] is True
+
+    def test_old_observations_roll_out_of_window(self, clock):
+        # Slow observations before the window must not poison the
+        # current p95: bucket deltas see only the fast recent ones.
+        monitor = SLOMonitor(
+            SLOConfig(latency_p95_target_s=1.0, window_s=300.0)
+        )
+        slow = point(20, 0, observations=[60.0] * 20)
+        monitor.record(slow)
+        clock["now"] = 1400.0
+        monitor.record(point(20, 0, observations=[60.0] * 20))
+        clock["now"] = 1700.0
+        fast_totals = SLOPoint.capture(
+            good_total=40,
+            bad_total=0,
+            latency_buckets=buckets(*([60.0] * 20 + [0.1] * 20)),
+            latency_count=40,
+        )
+        doc = monitor.evaluate(fast_totals)
+        latency = doc["latency"]
+        assert latency["count"] == 20
+        assert latency["p95_bounds_s"][1] <= 1.0
+        assert latency["ok"] is True
+
+    def test_no_observations_in_window_is_ok(self, clock):
+        monitor = SLOMonitor(SLOConfig(latency_p95_target_s=1.0))
+        monitor.record(point(0, 0))
+        clock["now"] = 1060.0
+        doc = monitor.evaluate(point(5, 0))
+        assert doc["latency"]["p95_bounds_s"] is None
+        assert doc["latency"]["ok"] is True
+
+
+class TestWindowPruning:
+    def test_retains_one_point_older_than_window(self, clock):
+        monitor = SLOMonitor(
+            SLOConfig(availability_objective=0.9, window_s=100.0)
+        )
+        for i in range(10):
+            clock["now"] = 1000.0 + i * 50.0
+            monitor.record(point(i * 10, 0))
+        # Window is 100s: the retained deque spans at most the window
+        # plus one straggler baseline.
+        assert len(monitor._points) <= 4
+        doc = monitor.evaluate(point(100, 0))
+        assert doc["window_span_s"] <= 150.0

@@ -1,0 +1,169 @@
+"""The in-daemon SLO monitor: /slo, rfic_slo_* gauges, one-snapshot
+agreement with /stats, and the off-cost-when-unconfigured contract."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import parse_prometheus
+from repro.obs.slo import SLOConfig
+from repro.runner import LayoutJob
+from repro.service import LayoutService, ServiceClient
+from repro.service.scheduler import QueueSaturated
+from tests.conftest import build_tiny_netlist
+
+
+def tiny_job(tag=""):
+    return LayoutJob(flow="manual", netlist=build_tiny_netlist(), tag=tag)
+
+
+def make_service(tmp_path, **kwargs):
+    instance = LayoutService(
+        data_dir=tmp_path / "svc", inline=True, concurrency=2, fsync=False,
+        **kwargs,
+    )
+    instance.bind(port=0)
+    instance.start()
+    threading.Thread(target=instance.serve_forever, daemon=True).start()
+    return instance
+
+
+@pytest.fixture
+def slo_service(tmp_path):
+    instance = make_service(
+        tmp_path,
+        slo=SLOConfig(
+            availability_objective=0.5,
+            latency_p95_target_s=30.0,
+            window_s=600.0,
+            sample_interval_s=0.2,
+        ),
+    )
+    yield instance
+    instance.shutdown()
+
+
+@pytest.fixture
+def client(slo_service):
+    return ServiceClient(f"http://127.0.0.1:{slo_service.port}", timeout=30.0)
+
+
+class TestUnconfigured:
+    def test_no_thread_no_gauges_no_document(self, tmp_path):
+        instance = make_service(tmp_path)
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{instance.port}", timeout=30.0
+            )
+            client.wait(client.submit_job(tiny_job("u1"))["key"], timeout=60)
+            # Off-cost: no monitor, no sampler thread.
+            assert instance.scheduler._slo_monitor is None
+            assert instance.scheduler._slo_thread is None
+            assert client.slo() == {"configured": False}
+            families = parse_prometheus(client.metrics_text())
+            assert not any(name.startswith("rfic_slo_") for name in families)
+            assert client.stats()["slo"] == {"configured": False}
+        finally:
+            instance.shutdown()
+
+
+class TestConfigured:
+    def test_sampler_thread_runs_and_is_not_a_dispatcher(self, slo_service):
+        scheduler = slo_service.scheduler
+        assert scheduler._slo_thread is not None
+        assert scheduler._slo_thread.is_alive()
+        # health() counts dispatchers only; the sampler must not inflate it.
+        assert scheduler.health()["dispatchers_alive"] == 2
+
+    def test_slo_document_reflects_served_traffic(self, client):
+        client.wait(client.submit_job(tiny_job("s1"))["key"], timeout=60)
+        doc = client.slo()
+        assert doc["configured"] is True
+        assert doc["window_s"] == 600.0
+        availability = doc["availability"]
+        assert availability["objective"] == 0.5
+        assert availability["good"] >= 1
+        assert availability["ratio"] == 1.0
+        assert availability["burn_rate"] == 0.0
+        latency = doc["latency"]
+        assert latency["target_p95_s"] == 30.0
+        assert latency["count"] >= 1
+        lower, upper = latency["p95_bounds_s"]
+        assert lower >= 0.0 and (upper is None or upper > lower)
+        assert doc["ok"] is True
+
+    def test_gauges_agree_with_stats_and_slo_from_one_snapshot(self, client):
+        client.wait(client.submit_job(tiny_job("s2"))["key"], timeout=60)
+        stats = client.stats()
+        slo_doc = client.slo()
+        families = parse_prometheus(client.metrics_text())
+
+        def gauge(name):
+            return families[name]["samples"][0]["value"]
+
+        # The wire documents are separate scrapes (counters can move
+        # between them), but the *objective* fields are config-stable and
+        # the structural agreement must hold on every scrape.
+        for doc in (stats["slo"], slo_doc):
+            assert doc["configured"] is True
+            assert doc["availability"]["objective"] == gauge(
+                "rfic_slo_availability_objective"
+            )
+            assert doc["latency"]["target_p95_s"] == gauge(
+                "rfic_slo_latency_target_s"
+            )
+            assert doc["window_s"] == gauge("rfic_slo_window_seconds")
+        assert gauge("rfic_slo_ok") == 1.0
+
+    def test_one_snapshot_invariant_exactly(self, slo_service):
+        # Straight at the scheduler: one metrics_snapshot() feeds both
+        # the gauge values and the /slo projection, so they must agree
+        # to the digit — no "separate scrape" caveat.
+        scheduler = slo_service.scheduler
+        snapshot = scheduler.metrics_snapshot()
+
+        def value(name):
+            return scheduler._snapshot_value(snapshot, name)
+
+        doc = scheduler._slo_from_snapshot(snapshot)
+        availability = doc["availability"]
+        assert availability["ratio"] == value("rfic_slo_availability_ratio")
+        assert availability["burn_rate"] == value(
+            "rfic_slo_error_budget_burn_rate"
+        )
+        assert availability["good"] == value("rfic_slo_window_good")
+        assert availability["bad"] == value("rfic_slo_window_bad")
+        assert doc["ok"] == (value("rfic_slo_ok") >= 1.0)
+        assert doc["latency"]["count"] == value(
+            "rfic_slo_window_latency_count"
+        )
+
+    def test_rejections_burn_the_budget(self, tmp_path):
+        # A tiny queue bound plus a saturating flood: rejected
+        # submissions must show up as windowed "bad" and move the ratio.
+        instance = make_service(
+            tmp_path,
+            max_queue_depth=1,
+            slo=SLOConfig(availability_objective=0.5, window_s=600.0),
+        )
+        try:
+            scheduler = instance.scheduler
+            document = {
+                "flow": "manual",
+                "netlist": tiny_job("flood").canonical_dict()["netlist"],
+                "tag": "flood",
+            }
+            rejected = 0
+            for i in range(30):
+                try:
+                    scheduler.submit(dict(document, tag=f"flood-{i}"))
+                except QueueSaturated:
+                    rejected += 1
+            assert rejected > 0
+            doc = scheduler.slo_document()
+            availability = doc["availability"]
+            assert availability["bad"] == rejected
+            assert availability["ratio"] < 1.0
+            assert availability["burn_rate"] > 0.0
+        finally:
+            instance.shutdown()

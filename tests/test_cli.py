@@ -62,6 +62,47 @@ class TestServiceCommands:
         assert args.dispatchers == 2
         assert not args.inline
 
+    def test_serve_slo_flags(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.slo_availability is None
+        assert args.slo_latency_p95 is None
+        assert args.slo_window == 300.0
+        args = build_parser().parse_args(
+            ["serve", "--slo-availability", "0.99",
+             "--slo-latency-p95", "30", "--slo-window", "120"]
+        )
+        assert args.slo_availability == 0.99
+        assert args.slo_latency_p95 == 30.0
+        assert args.slo_window == 120.0
+
+
+class TestBenchCommand:
+    def test_diff_parser_defaults(self):
+        args = build_parser().parse_args(["bench", "diff", "a.json", "b.json"])
+        assert args.baseline == "a.json"
+        assert args.current == "b.json"
+        assert not args.gate
+        assert not args.json
+        assert args.report is None
+        assert args.latency_warn == 2.0
+        assert args.latency_fail == 10.0
+        assert args.throughput_fail == 10.0
+
+    def test_diff_requires_two_snapshots(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "diff", "only-one.json"])
+
+    def test_bench_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_bad_thresholds_exit_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="latency_warn_ratio"):
+            main([
+                "bench", "diff", "a.json", "b.json",
+                "--latency-warn", "5", "--latency-fail", "2",
+            ])
+
 
 class TestCircuitsCommand:
     def test_lists_all_circuits(self, capsys):
