@@ -65,6 +65,15 @@ service sub-commands:
            (queue depth, per-state counts, cache hit/miss statistics,
            admission/supervision counters, health flags).
 
+durability sub-commands:
+  cache scrub    walk a result-cache directory re-verifying every entry's
+                 artifact digests and every solve checkpoint; corrupt
+                 entries are quarantined (never deleted), torn checkpoints
+                 removed, stale staging swept.  Exits non-zero when this
+                 run found corruption; the re-run after repair exits zero.
+  cache verify   the same sweep, read-only (nothing quarantined/removed);
+                 also served by the daemon as GET /cache/integrity.
+
 robustness (PR 6):
   backpressure   serve --max-queue N bounds the number of queued jobs;
                  --class-limit CLASS=N bounds one priority class;
@@ -443,6 +452,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-dump", default=None, metavar="PATH",
         help="write the final /metrics Prometheus exposition to this file",
     )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect and repair a result-cache directory"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_scrub = cache_sub.add_parser(
+        "scrub",
+        help="walk every cache entry and checkpoint, re-verify artifact "
+        "digests, quarantine corrupt entries and remove torn checkpoints; "
+        "exits non-zero when corruption was found on this run (zero on a "
+        "re-run after repair)",
+    )
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="read-only integrity sweep: same checks as scrub but nothing "
+        "is quarantined or removed; exits non-zero when the cache is dirty",
+    )
+    for cache_cmd in (cache_scrub, cache_verify):
+        cache_cmd.add_argument(
+            "--cache-dir", default=".rfic-cache",
+            help="result cache directory (default: .rfic-cache)",
+        )
+        cache_cmd.add_argument(
+            "--json", action="store_true",
+            help="print the machine-readable report instead of the summary",
+        )
 
     bench = subparsers.add_parser(
         "bench", help="operate on BENCH_*.json perf-trajectory snapshots"
@@ -1161,6 +1196,47 @@ def _command_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cache(args: argparse.Namespace) -> int:
+    from repro.runner.cache import ResultCache
+
+    root = Path(args.cache_dir)
+    if not root.exists():
+        raise SystemExit(f"error: no cache directory at {root}")
+    cache = ResultCache(root)
+    repair = args.cache_command == "scrub"
+    report = cache.scrub(repair=repair)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        mode = "scrub" if repair else "verify"
+        print(
+            f"cache {mode}: {report['entries_scanned']} entr(ies) scanned, "
+            f"{report['entries_ok']} ok, {report['entries_corrupt']} corrupt"
+            + (f" ({report['entries_quarantined']} quarantined)" if repair else "")
+        )
+        print(
+            f"  checkpoints: {report['checkpoints_scanned']} scanned, "
+            f"{report['checkpoints_corrupt']} corrupt"
+            + (f" ({report['checkpoints_removed']} removed)" if repair else "")
+        )
+        if report["staging_swept"]:
+            print(f"  staging: {report['staging_swept']} stale dir(s) swept")
+        if report["errors"]:
+            print(f"  errors: {report['errors']} entr(ies) unreadable")
+        if report["quarantine_entries"]:
+            print(
+                f"  quarantine holds {report['quarantine_entries']} entr(ies) "
+                f"under {cache.root / 'quarantine'}"
+            )
+        for key in report["corrupt_keys"]:
+            print(f"  corrupt: {key}")
+        print(f"  verdict: {'clean' if report['clean'] else 'DIRTY'}")
+    # Non-zero exactly when corruption was found on *this* run: a scrub
+    # repairs the cache but still reports what it had to repair; the
+    # re-run after repair exits zero.
+    return 0 if report["clean"] else 1
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
     from repro.loadgen import Thresholds, diff_snapshot_files
@@ -1214,6 +1290,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "status": _command_status,
         "trace": _command_trace,
         "loadtest": _command_loadtest,
+        "cache": _command_cache,
         "bench": _command_bench,
     }
     return handlers[args.command](args)

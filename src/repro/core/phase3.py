@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import InfeasibleModelError
 from repro.circuit.netlist import Netlist
@@ -236,19 +236,43 @@ def run_phase3(
     netlist: Netlist,
     phase2_layout: Layout,
     config: Optional[PILPConfig] = None,
+    *,
+    start_iteration: int = 0,
+    initial_best: Optional[Layout] = None,
+    on_iteration: Optional[
+        Callable[[PhaseResult, Layout, Layout, int], None]
+    ] = None,
 ) -> Tuple[List[PhaseResult], Layout]:
     """Iterate refinement until the layout is clean or the budget is spent.
 
     Returns the per-iteration results and the best layout seen (fewest DRC
     violations, ties broken by total bend count).
+
+    The keyword-only parameters support checkpoint resume: a resumed run
+    passes the checkpointed geometry as ``phase2_layout``, the stored
+    incumbent as ``initial_best``, and continues at ``start_iteration``.
+    Because the loop state is exactly (current layout, incumbent,
+    iteration index) — ``best_key`` is recomputed deterministically — the
+    resumed iterations are identical to the ones a cold run would have
+    executed.  ``on_iteration(result, current, best, next_iteration)`` is
+    invoked after each completed iteration so callers can persist that
+    state.
     """
     config = config or PILPConfig()
     current = phase2_layout
     results: List[PhaseResult] = []
-    best_layout = phase2_layout
-    best_key = _quality_key(netlist, phase2_layout)
+    best_layout = initial_best if initial_best is not None else phase2_layout
+    best_key = _quality_key(netlist, best_layout)
 
-    for iteration in range(config.max_refinement_iterations):
+    if start_iteration > 0:
+        # Re-evaluate the stop conditions the checkpointed run faced at the
+        # end of its last iteration: a run that stopped because it was DRC
+        # clean must not burn an extra iteration after resume.
+        current_key = _quality_key(netlist, current)
+        if current_key[0] == 0 or start_iteration >= config.max_refinement_iterations:
+            return results, best_layout
+
+    for iteration in range(start_iteration, config.max_refinement_iterations):
         report = run_drc(current)
         plan = plan_refinement(
             netlist, current, config, drc_report=report, allow_exact=True
@@ -267,6 +291,8 @@ def run_phase3(
         if key < best_key:
             best_key = key
             best_layout = current
+        if on_iteration is not None:
+            on_iteration(result, current, best_layout, iteration + 1)
         if key[0] == 0:
             # DRC clean: lengths exact, no overlaps, planar — we are done.
             break

@@ -16,16 +16,23 @@ show the same phase-by-phase pictures the paper does.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.errors import InfeasibleModelError
 from repro.circuit.netlist import Netlist
+from repro.core.checkpoint import (
+    CheckpointSink,
+    CompletedPhase,
+    ReplayedPhase,
+    SolveCheckpoint,
+)
 from repro.core.config import PILPConfig
 from repro.core.phase1 import run_phase1
 from repro.core.phase2 import run_phase2
 from repro.core.phase3 import run_phase3
 from repro.core.result import FlowResult, PhaseResult
 from repro.layout.drc import run_drc
+from repro.layout.export_json import layout_from_dict, layout_to_dict
 from repro.layout.layout import Layout
 from repro.layout.metrics import compute_metrics
 
@@ -38,8 +45,19 @@ class PILPLayoutGenerator:
     def __init__(self, config: Optional[PILPConfig] = None) -> None:
         self.config = config or PILPConfig()
 
-    def generate(self, netlist: Netlist) -> FlowResult:
+    def generate(
+        self, netlist: Netlist, checkpoint: Optional[CheckpointSink] = None
+    ) -> FlowResult:
         """Run all three phases on a netlist and return the final result.
+
+        With a ``checkpoint`` sink the flow becomes crash-resumable: after
+        every completed phase (Phase 3: every refinement iteration) the
+        loop state is saved through the sink, and a run that finds a
+        checkpoint on startup replays the completed phases' bookkeeping and
+        continues at the next one.  Each phase is a deterministic function
+        of (prior geometry, configuration), so the resumed run settles on
+        the same final layout a cold run would — only the wall-clock
+        ``runtime_s`` metadata differs.
 
         Raises
         ------
@@ -50,15 +68,78 @@ class PILPLayoutGenerator:
         """
         start = time.perf_counter()
         config = self.config
-        phases: list[PhaseResult] = []
+        phases: List[Union[PhaseResult, ReplayedPhase]] = []
+        completed: List[CompletedPhase] = []
+        checkpoint_writes = 0
+        resumed_from: Optional[str] = None
+        replayed_elapsed = 0.0
+        current_layout: Optional[Layout] = None
+        initial_best: Optional[Layout] = None
+        next_iteration = 0
 
-        phase1 = run_phase1(netlist, config)
-        phases.append(phase1)
+        state = checkpoint.load() if checkpoint is not None else None
+        if state is not None:
+            resumed_from = state.stage
+            replayed_elapsed = state.elapsed_s
+            next_iteration = state.next_iteration
+            completed = list(state.completed)
+            current_layout = layout_from_dict(state.layout_doc)
+            if state.best_layout_doc is not None:
+                initial_best = layout_from_dict(state.best_layout_doc)
+            for item in state.completed:
+                phases.append(
+                    ReplayedPhase(item.phase, current_layout, item.summary, item.profile)
+                )
+        done = {phase.phase for phase in phases}
 
-        phase2 = self._run_phase2_with_retry(netlist, phase1.layout, config)
-        phases.append(phase2)
+        def save_checkpoint(
+            result: PhaseResult,
+            layout: Layout,
+            best: Optional[Layout],
+            iteration: int,
+        ) -> None:
+            nonlocal checkpoint_writes
+            completed.append(
+                CompletedPhase(result.phase, result.summary(), result.profile_entry())
+            )
+            if checkpoint is None:
+                return
+            saved = checkpoint.save(
+                SolveCheckpoint(
+                    stage=result.phase,
+                    completed=list(completed),
+                    layout_doc=layout_to_dict(layout),
+                    best_layout_doc=layout_to_dict(best) if best is not None else None,
+                    next_iteration=iteration,
+                    objective=result.solution.objective
+                    if result.solution.is_feasible
+                    else None,
+                    elapsed_s=replayed_elapsed + (time.perf_counter() - start),
+                )
+            )
+            if saved:
+                checkpoint_writes += 1
 
-        refinement_results, best_layout = run_phase3(netlist, phase2.layout, config)
+        if "phase1" not in done:
+            phase1 = run_phase1(netlist, config)
+            phases.append(phase1)
+            current_layout = phase1.layout
+            save_checkpoint(phase1, phase1.layout, None, 0)
+
+        if "phase2" not in done:
+            phase2 = self._run_phase2_with_retry(netlist, current_layout, config)
+            phases.append(phase2)
+            current_layout = phase2.layout
+            save_checkpoint(phase2, phase2.layout, None, 0)
+
+        refinement_results, best_layout = run_phase3(
+            netlist,
+            current_layout,
+            config,
+            start_iteration=next_iteration,
+            initial_best=initial_best,
+            on_iteration=save_checkpoint,
+        )
         phases.extend(refinement_results)
 
         final_layout = best_layout.with_simplified_routes()
@@ -67,7 +148,7 @@ class PILPLayoutGenerator:
         drc_started = time.perf_counter()
         drc = run_drc(final_layout)
         drc_done = time.perf_counter()
-        runtime = drc_done - start
+        runtime = replayed_elapsed + (drc_done - start)
         final_layout.metadata.update(
             {
                 "flow": self.flow_name,
@@ -88,6 +169,9 @@ class PILPLayoutGenerator:
                 "metrics_s": drc_started - metrics_started,
                 "drc_s": drc_done - drc_started,
             },
+            resumed_from_phase=resumed_from,
+            resume_saved_s=replayed_elapsed if resumed_from else 0.0,
+            checkpoint_writes=checkpoint_writes,
         )
 
     def snapshots(self, result: FlowResult) -> Dict[str, Layout]:

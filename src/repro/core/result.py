@@ -78,6 +78,25 @@ class PhaseResult:
             "total_overlap_um": round(self.total_overlap, 3),
         }
 
+    def profile_entry(self) -> Dict[str, object]:
+        """This phase's row of :meth:`FlowResult.profile`.
+
+        Splits wall time into model build vs. solver and carries the
+        backend's iteration count when it reports one.  Checkpoint resume
+        replays these entries verbatim for phases it skips, so the entry
+        must be a pure function of the phase outcome.
+        """
+        entry: Dict[str, object] = {
+            "phase": self.phase,
+            "wall_s": round(self.runtime, 6),
+            "model_build_s": round(self.model_build_time, 6),
+            "solver_s": round(self.solution.solve_time, 6),
+            "solver_backend": self.solution.backend,
+        }
+        if self.solution.iterations is not None:
+            entry["solver_iterations"] = int(self.solution.iterations)
+        return entry
+
 
 @dataclass
 class FlowResult:
@@ -103,6 +122,13 @@ class FlowResult:
         Wall-clock seconds of flow stages outside the phase solves —
         currently ``drc_s`` and ``metrics_s`` (filled by the flows that
         measure them; empty otherwise).
+    resumed_from_phase:
+        Name of the checkpointed phase this run resumed after, or ``None``
+        for a cold solve.
+    resume_saved_s:
+        Solve budget (wall-clock seconds) the resume skipped re-spending.
+    checkpoint_writes:
+        Number of phase checkpoints durably written during this run.
     """
 
     flow: str
@@ -113,6 +139,9 @@ class FlowResult:
     runtime: float
     phases: List[PhaseResult] = field(default_factory=list)
     timings: Dict[str, float] = field(default_factory=dict)
+    resumed_from_phase: Optional[str] = None
+    resume_saved_s: float = 0.0
+    checkpoint_writes: int = 0
 
     @property
     def is_clean(self) -> bool:
@@ -145,22 +174,15 @@ class FlowResult:
         regression in a cached result can be attributed to a stage without
         re-running the flow.
         """
-        phases: List[Dict[str, object]] = []
-        for phase in self.phases:
-            entry: Dict[str, object] = {
-                "phase": phase.phase,
-                "wall_s": round(phase.runtime, 6),
-                "model_build_s": round(phase.model_build_time, 6),
-                "solver_s": round(phase.solution.solve_time, 6),
-                "solver_backend": phase.solution.backend,
-            }
-            if phase.solution.iterations is not None:
-                entry["solver_iterations"] = int(phase.solution.iterations)
-            phases.append(entry)
         doc: Dict[str, object] = {
-            "phases": phases,
+            "phases": [phase.profile_entry() for phase in self.phases],
             "total_s": round(self.runtime, 6),
         }
         for stage, seconds in sorted(self.timings.items()):
             doc[stage] = round(float(seconds), 6)
+        if self.resumed_from_phase:
+            doc["resumed_from_phase"] = self.resumed_from_phase
+            doc["resume_saved_s"] = round(self.resume_saved_s, 6)
+        if self.checkpoint_writes:
+            doc["checkpoint_writes"] = int(self.checkpoint_writes)
         return doc

@@ -18,6 +18,13 @@ branch-and-bound backend repairs it into its initial incumbent).
 The assignment does not need to be perfectly feasible — backends treat it as
 a seed, not as an answer — but the closer it is, the more of the solver
 budget goes into *improving* rather than *finding* solutions.
+
+Checkpoint resume (:mod:`repro.core.checkpoint`) rides the same machinery:
+a resumed solve deserialises the checkpointed phase-boundary layout and
+hands it to the next phase, which warm-starts from that geometry exactly as
+it would from a freshly solved predecessor — the JSON round trip preserves
+coordinates bit-exactly, so the warm start (and therefore the solve) is
+identical to the uninterrupted run's.
 """
 
 from __future__ import annotations

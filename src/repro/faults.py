@@ -61,6 +61,20 @@ Instrumented points (the canonical registry)
                            per-job error boundary — a firing ``raise`` kills
                            the dispatcher thread and must be survived by the
                            scheduler's supervision)
+``checkpoint.write``       :meth:`ResultCache.write_checkpoint` before the
+                           staged checkpoint is written (``raise`` is
+                           contained as a write error; ``sleep`` holds the
+                           worker at a phase boundary; ``crash`` dies before
+                           the checkpoint lands)
+``checkpoint.read.corrupt``  :meth:`ResultCache.read_checkpoint` — treat the
+                           stored checkpoint as torn: discard it and fall
+                           back to a cold solve
+``cache.read.corrupt``     :meth:`ResultCache.peek_key` verify-on-read —
+                           treat the entry's digests as mismatched, so it is
+                           quarantined exactly as bit rot would be
+``cache.scrub``            :meth:`ResultCache.scrub` once per visited entry
+                           (a firing ``raise`` is contained and counted in
+                           the scrub report's ``errors``)
 =========================  ====================================================
 
 Cross-process activation: export ``REPRO_FAULTS`` as the JSON produced by

@@ -240,6 +240,14 @@ _CLASS_RULES: Tuple[Tuple[str, str], ...] = (
     (r"(^|\.)jobs\.(failed|timeout|cancelled)$", "counter"),
     (r"(^|\.)(dispatcher_restarts|poisoned|crash_retries|put_errors"
      r"|journal_write_errors|watchers_stalled)$", "counter"),
+    # A healthy load run never trips cache integrity: any quarantined
+    # entry means corruption was detected mid-run — exact, gated.
+    (r"(^|\.)cache\.quarantined$", "counter"),
+    # Checkpoint/resume tallies depend on crash timing (which worker died
+    # where), so they are real numbers but never comparable across runs;
+    # the whole subtree is informational, including its histogram
+    # sum_s/mean_s leaves that would otherwise classify as latency.
+    (r"(^|\.)resumes(\.|$)", "info"),
     # Throughput before the generic latency rules: "per second" rates.
     (r"_per_s$", "throughput"),
     # Tail samples of a latency summary (max, and p99 at CI sample sizes

@@ -189,13 +189,22 @@ class LayoutJob:
     # execution
     # ------------------------------------------------------------------ #
 
-    def run(self) -> FlowResult:
-        """Execute the job in the current process and return its result."""
+    def run(self, checkpoint=None) -> FlowResult:
+        """Execute the job in the current process and return its result.
+
+        ``checkpoint`` is an optional
+        :class:`~repro.core.checkpoint.CheckpointSink`: the progressive
+        flow saves per-phase state through it and resumes from a stored
+        checkpoint when one exists.  The single-shot flows ignore it —
+        they have no phase boundaries to resume at.
+        """
         netlist = self.resolve_netlist()
         if self.flow == "pilp":
             from repro.core.pilp import PILPLayoutGenerator
 
-            return PILPLayoutGenerator(self.config).generate(netlist)
+            return PILPLayoutGenerator(self.config).generate(
+                netlist, checkpoint=checkpoint
+            )
         if self.flow == "exact":
             from repro.core.exact import ExactLayoutGenerator
 

@@ -42,7 +42,7 @@ from repro.obs.trace import CLOCK
 from repro.layout.drc import run_drc
 from repro.layout.export_json import layout_from_dict, layout_to_dict
 from repro.layout.metrics import compute_metrics
-from repro.runner.cache import CachedResult, ResultCache
+from repro.runner.cache import CachedResult, ResultCache, SolveCheckpointer
 from repro.runner.jobs import LayoutJob
 
 PathLike = Union[str, Path]
@@ -55,7 +55,7 @@ _POLL_INTERVAL = 0.05
 class ProgressEvent:
     """One structured progress notification from the pool."""
 
-    kind: str  #: submitted | cached | started | completed | failed | timeout | cancelled
+    kind: str  #: submitted | cached | started | resumed | completed | failed | timeout | cancelled
     job_key: str
     label: str
     variant: str = ""
@@ -150,7 +150,19 @@ def _child_main(job: LayoutJob, cache_root: Optional[str], conn) -> None:
     """
     try:
         FAULTS.act("worker.run")
-        result = job.run()
+        cache = ResultCache(cache_root) if cache_root is not None else None
+        checkpointer = (
+            SolveCheckpointer(cache, job.content_hash)
+            if cache is not None and job.flow == "pilp"
+            else None
+        )
+        # Only pass the kwarg when checkpointing is live: non-pilp flows
+        # (and cacheless pools) keep the plain ``run()`` contract.
+        result = (
+            job.run(checkpoint=checkpointer)
+            if checkpointer is not None
+            else job.run()
+        )
         profile = result.profile()
         payload: Dict[str, object] = {
             "summary": result.summary(),
@@ -159,10 +171,14 @@ def _child_main(job: LayoutJob, cache_root: Optional[str], conn) -> None:
             "trace": getattr(job, "trace_id", ""),
         }
         entry = None
-        if cache_root is not None:
+        if cache is not None:
             put_started = CLOCK.perf()
-            entry = ResultCache(cache_root).put(job, result)
+            entry = cache.put(job, result)
             profile["cache_put_s"] = round(CLOCK.perf() - put_started, 6)
+            if entry is not None and checkpointer is not None:
+                # The full entry supersedes the partial one; a leftover
+                # checkpoint would only shadow the cache hit's fast path.
+                checkpointer.clear()
         payload["profile"] = profile
         if entry is None:
             # No cache, or the store failed (full disk): the layout must
@@ -289,9 +305,19 @@ class WorkerPool:
             outcome = self._cache_lookup(job)
             if outcome is None:
                 started = time.perf_counter()
+                checkpointer = (
+                    SolveCheckpointer(self.cache, job.content_hash)
+                    if self.cache is not None and job.flow == "pilp"
+                    else None
+                )
+                self._emit_resumed(job, progress)
                 try:
                     FAULTS.act("worker.run")
-                    result = job.run()
+                    result = (
+                        job.run(checkpoint=checkpointer)
+                        if checkpointer is not None
+                        else job.run()
+                    )
                 except Exception as exc:  # noqa: BLE001 - job boundary
                     outcome = JobOutcome(
                         job=job,
@@ -309,6 +335,8 @@ class WorkerPool:
                         profile["cache_put_s"] = round(
                             CLOCK.perf() - put_started, 6
                         )
+                        if entry is not None and checkpointer is not None:
+                            checkpointer.clear()
                     outcome = JobOutcome(
                         job=job,
                         status="completed",
@@ -362,6 +390,7 @@ class WorkerPool:
                 deadline = now + self.job_timeout if self.job_timeout else None
                 running[index] = _Running(job, process, receiver, now, deadline)
                 self._emit("started", job, progress=progress)
+                self._emit_resumed(job, progress)
 
         try:
             launch()
@@ -500,6 +529,20 @@ class WorkerPool:
     # ------------------------------------------------------------------ #
     # shared helpers
     # ------------------------------------------------------------------ #
+
+    def _emit_resumed(self, job: LayoutJob, progress: Optional[ProgressCallback]) -> None:
+        """Announce that the job about to run will resume from a checkpoint.
+
+        The probe is optimistic — the worker's own (verified) checkpoint
+        read stays authoritative, and the settlement-time profile is what
+        the resume metrics count — but announcing it up front lets SSE
+        watchers see ``resumed`` before the remaining phases run.
+        """
+        if self.cache is None or job.flow != "pilp":
+            return
+        stage = self.cache.peek_checkpoint_stage(job.content_hash)
+        if stage:
+            self._emit("resumed", job, detail=stage, progress=progress)
 
     def _cache_lookup(self, job: LayoutJob) -> Optional[JobOutcome]:
         if self.cache is None:

@@ -130,6 +130,10 @@ class LayoutService:
         journal is compacted, SSE streams get a ``shutdown`` event — and
         only then does the HTTP server stop, so in-flight status queries
         and event streams end cleanly rather than on a dead socket.
+
+        A requeued multi-phase solve is not lost work: its worker
+        checkpointed every completed phase through the result cache, so
+        the next epoch resumes it at the first unfinished phase.
         """
         LOG.log("daemon.drain", timeout_s=timeout)
         self.scheduler.drain(timeout=timeout)

@@ -47,6 +47,12 @@ Endpoints
     burn rate, windowed p95 bounds) derived from the same registry
     snapshot as ``/stats``/``/metrics``; ``{"configured": false}`` when
     no objectives are set.
+``GET /cache/integrity``
+    Read-only cache verification (``ResultCache.verify``): every entry's
+    artifact digests are re-checked and every stored checkpoint is
+    parsed, but nothing is quarantined or deleted.  ``200`` with the
+    report when the cache is clean, ``503`` when corruption is present —
+    repair with ``rfic-layout cache scrub``.
 ``GET /healthz``
     Liveness: always ``200``; the body carries degradation flags
     (journal/cache write failures) and supervision counters.
@@ -182,6 +188,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(
                     dict(health, ready=ready), status=200 if ready else 503
                 )
+            elif path == "/cache/integrity":
+                # Read-only verification sweep: digests checked, nothing
+                # quarantined or removed.  ``200`` when clean, ``503`` when
+                # corruption is present (a monitoring-friendly signal; run
+                # ``rfic-layout cache scrub`` to repair).
+                report = self.scheduler.cache.verify()
+                self._send_json(report, status=200 if report["clean"] else 503)
             elif path == "/jobs":
                 self._get_jobs(query)
             elif path.startswith("/jobs/"):

@@ -13,7 +13,10 @@ On startup the journal is replayed in order; jobs that were ``queued`` or
 ``running`` when the daemon died come back as ``queued`` (a solve that
 never settled is simply re-run — it is deterministic, and if its worker
 already reached the result cache before the crash, the re-dispatch settles
-from the cache instead of re-solving).  **Settlement is exactly-once per
+from the cache instead of re-solving; if the worker only got as far as a
+per-phase *checkpoint*, the re-dispatch resumes from it — the pool probes
+the cache's checkpoint store before every progressive solve, so a
+crash-replayed job pays only the phases it had not yet finished).  **Settlement is exactly-once per
 content hash**: a ``settle`` for an already-terminal record is ignored,
 both live and during replay.
 
@@ -260,7 +263,8 @@ class JobQueue:
                 self._apply(entry)
         # Jobs in flight when the previous daemon died never settled:
         # requeue them (their solve is deterministic and cache-settled,
-        # so re-dispatch is safe and usually a cache hit).
+        # so re-dispatch is safe and usually a cache hit — or a checkpoint
+        # resume when the dead worker left per-phase state behind).
         for record in self._records.values():
             if record.state == "running":
                 record.state = "queued"

@@ -27,6 +27,10 @@ The ``trace`` field is additive: it carries the job's request trace ID
 ("" for epoch-level events such as ``shutdown``).  ``progress`` events
 additionally carry ``elapsed_s`` — seconds since the job entered
 ``running`` — so watchers can detect stalled solves without polling.
+Their ``detail`` is the pool event kind, suffixed with the pool's own
+detail when it has one: a solve continuing from a stored checkpoint
+emits ``"resumed:<phase>"`` (e.g. ``"resumed:phase2"``) before its first
+``started`` progress.
 
 ``kind`` is one of ``queued | running | progress | done | failed |
 timeout | cancelled``; the last four are terminal and close any SSE
@@ -364,6 +368,11 @@ class LayoutScheduler:
                  "Jobs quarantined after exhausting the crash budget"),
                 ("_crash_retries", "rfic_crash_retries_total",
                  "Worker crashes that earned the job a retry"),
+                ("_checkpoint_writes", "rfic_checkpoint_writes_total",
+                 "Per-phase solve checkpoints durably written by workers"),
+                ("_resumes", "rfic_solve_resumes_total",
+                 "Solves that resumed from a stored checkpoint instead of "
+                 "starting cold"),
             )
         }
         self._latency_hist = self.metrics.histogram(
@@ -375,6 +384,12 @@ class LayoutScheduler:
             "rfic_cache_serve_seconds",
             "Admission duration of submissions answered from an already-"
             "settled record",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._resume_saved_hist = self.metrics.histogram(
+            "rfic_resume_budget_saved_seconds",
+            "Solve budget not re-spent because a resumed job replayed "
+            "checkpointed phases instead of recomputing them",
             buckets=DEFAULT_LATENCY_BUCKETS,
         )
         self._stage_hist = {
@@ -443,6 +458,14 @@ class LayoutScheduler:
     def _crash_retries(self) -> int:
         return int(self._counters["_crash_retries"].value)
 
+    @property
+    def _checkpoint_writes(self) -> int:
+        return int(self._counters["_checkpoint_writes"].value)
+
+    @property
+    def _resumes(self) -> int:
+        return int(self._counters["_resumes"].value)
+
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
@@ -492,6 +515,10 @@ class LayoutScheduler:
         3. Stop the dispatchers; any job still ``running`` after that
            (worker outlived the grace period) is requeued, so the journal
            never records an in-flight job as anything but resumable.
+           A multi-phase solve cut off here has already checkpointed every
+           phase it completed (workers write checkpoints at phase
+           boundaries as they go), so the next epoch's re-dispatch resumes
+           at the first unfinished phase instead of starting cold.
         4. Compact the journal (one snapshot line per record — the fastest
            possible replay for the next epoch).
         5. Broadcast ``shutdown`` so every SSE stream closes on an
@@ -894,11 +921,17 @@ class LayoutScheduler:
         with the daemon, so only the durations are authoritative.
         """
         key = record.key
+        profile = outcome.profile or {}
+        detail = outcome.status
+        resumed_from = profile.get("resumed_from_phase")
+        if resumed_from:
+            # Trace consumers read resumption straight off the worker span;
+            # replayed phases below carry wall_s from the *original* run.
+            detail = f"{detail} resumed_from_phase={resumed_from}"
         self.traces.span(
             key, "worker", worker_wall, worker_s,
-            detail=outcome.status,
+            detail=detail,
         )
-        profile = outcome.profile or {}
         cursor = worker_wall
         if outcome.status == "completed":
             # Fork + pipe + payload overhead: worker wall minus flow time.
@@ -939,12 +972,16 @@ class LayoutScheduler:
             elapsed = None
             if record.started_unix is not None:
                 elapsed = max(0.0, CLOCK.time() - record.started_unix)
+            detail = event.kind
+            if event.detail:
+                # e.g. "resumed:phase2" — the phase the worker continues from.
+                detail = f"{event.kind}:{event.detail}"
             self.bus.publish(
                 "progress",
                 record.key,
                 record.label,
                 record.state,
-                detail=event.kind,
+                detail=detail,
                 runtime=event.runtime,
                 trace=record.trace_id,
                 elapsed_s=elapsed,
@@ -963,6 +1000,7 @@ class LayoutScheduler:
             else:
                 self._bump("_solved")
                 self._observe_runtime(outcome.runtime)
+                self._observe_resume(record, outcome, summary)
         else:
             if self._is_worker_crash(outcome):
                 fresh = self.queue.get(record.key)
@@ -1038,6 +1076,39 @@ class LayoutScheduler:
                 runtime=outcome.runtime,
                 trace=record.trace_id,
             )
+
+    def _observe_resume(
+        self,
+        record: JobRecord,
+        outcome: JobOutcome,
+        summary: Dict[str, object],
+    ) -> None:
+        """Account a solved job's checkpoint activity at settlement.
+
+        The worker's solve profile is the authoritative source: it counts
+        checkpoints that actually landed (the durable write succeeded) and
+        names the phase a resumed solve continued from, so the metrics
+        cannot drift from what the worker really did.
+        """
+        profile = outcome.profile or {}
+        writes = int(profile.get("checkpoint_writes", 0) or 0)
+        if writes:
+            self._bump("_checkpoint_writes", writes)
+        resumed_from = profile.get("resumed_from_phase")
+        if not resumed_from:
+            return
+        self._bump("_resumes")
+        saved = float(profile.get("resume_saved_s", 0.0) or 0.0)
+        self._resume_saved_hist.observe(max(0.0, saved))
+        summary["resumed_from_phase"] = str(resumed_from)
+        LOG.log(
+            "job.resumed",
+            level="info",
+            trace=record.trace_id,
+            key=record.key,
+            resumed_from_phase=str(resumed_from),
+            saved_s=round(saved, 3),
+        )
 
     @staticmethod
     def _is_worker_crash(outcome: JobOutcome) -> bool:
@@ -1185,6 +1256,9 @@ class LayoutScheduler:
             ("rfic_cache_misses", cache.misses),
             ("rfic_cache_stores", cache.stores),
             ("rfic_cache_put_errors", cache.put_errors),
+            ("rfic_cache_quarantined", cache.quarantined),
+            ("rfic_checkpoint_hits", cache.checkpoint_hits),
+            ("rfic_checkpoint_corrupt", cache.checkpoint_corrupt),
         ):
             m.gauge(name, "Result-cache counter (scheduler's cache view)").set(
                 value
@@ -1390,6 +1464,8 @@ class LayoutScheduler:
                 "_dispatcher_restarts": "rfic_dispatcher_restarts_total",
                 "_crash_retries": "rfic_crash_retries_total",
                 "_poisoned": "rfic_jobs_poisoned_total",
+                "_checkpoint_writes": "rfic_checkpoint_writes_total",
+                "_resumes": "rfic_solve_resumes_total",
             }[attr]
             return int(self._snapshot_value(snapshot, name))
 
@@ -1421,7 +1497,17 @@ class LayoutScheduler:
             "put_errors": int(
                 self._snapshot_value(snapshot, "rfic_cache_put_errors")
             ),
+            "quarantined": int(
+                self._snapshot_value(snapshot, "rfic_cache_quarantined")
+            ),
             "hit_rate": round(hits / lookups, 3) if lookups else 0.0,
+        }
+        resumes = {
+            "checkpoint_writes": counter("_checkpoint_writes"),
+            "resumed": counter("_resumes"),
+            "budget_saved_s": self._snapshot_histogram(
+                snapshot, "rfic_resume_budget_saved_seconds"
+            ),
         }
         return {
             "uptime_s": round(
@@ -1438,6 +1524,7 @@ class LayoutScheduler:
             "dispatchers": self.concurrency,
             "pool_workers": self.runner.workers,
             "cache": cache,
+            "resumes": resumes,
             "journal_dropped_lines": self.queue.dropped_lines,
             "admission": {
                 "max_queue_depth": self.max_queue_depth,

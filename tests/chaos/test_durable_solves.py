@@ -1,0 +1,268 @@
+"""Durable solves: kill the daemon mid-solve, restart, resume — identically.
+
+The acceptance contract of the checkpoint layer, tested against *real*
+subprocess daemons (SIGKILL means SIGKILL) and the in-process scheduler:
+
+* a solve interrupted after phase checkpoints exist resumes at the first
+  unfinished phase on the next epoch and settles **bit-identical** to an
+  uninterrupted cold solve (identical after removing ``runtime_s``, the
+  one wall-clock field);
+* a drained daemon's requeued running job resumes, not restarts;
+* a cache entry with a flipped byte is never served — it is quarantined
+  and the job re-solves clean;
+* ``rfic-layout cache scrub`` exits non-zero on a dirty cache and zero
+  after repair.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.faults import FaultSpec, env_payload
+from repro.layout.export_json import layout_to_dict
+from repro.runner import LayoutJob, ResultCache
+from repro.service import ServiceClient, job_to_document
+from tests.chaos.conftest import make_scheduler, wait_until
+from tests.conftest import build_tiny_netlist
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def pilp_document(tag=""):
+    return job_to_document(
+        LayoutJob(flow="pilp", netlist=build_tiny_netlist(), tag=tag)
+    )
+
+
+def tiny_document(tag=""):
+    return job_to_document(
+        LayoutJob(flow="manual", netlist=build_tiny_netlist(), tag=tag)
+    )
+
+
+def normalized(doc) -> str:
+    doc = json.loads(json.dumps(doc))  # deep copy
+    doc.get("metadata", {}).pop("runtime_s", None)
+    return json.dumps(doc, sort_keys=True)
+
+
+def spawn_daemon(tmp_path, name, extra_env=None, drain_grace=None):
+    """``rfic-layout serve`` on an ephemeral port; returns (proc, client)."""
+    port_file = tmp_path / f"{name}.port"
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = REPO_SRC + (os.pathsep + existing if existing else "")
+    env.pop("REPRO_FAULTS", None)
+    if extra_env:
+        env.update(extra_env)
+    argv = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--host", "127.0.0.1", "--port", "0",
+        "--port-file", str(port_file),
+        "--data-dir", str(tmp_path / "data"),
+        "--inline", "--dispatchers", "1", "--quiet",
+    ]
+    if drain_grace is not None:
+        argv += ["--drain-grace", str(drain_grace)]
+    process = subprocess.Popen(
+        argv, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        cwd=str(tmp_path),
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if port_file.is_file() and port_file.read_text().strip():
+            break
+        if process.poll() is not None:
+            raise RuntimeError(f"daemon died on startup (exit {process.returncode})")
+        time.sleep(0.05)
+    else:
+        process.kill()
+        raise RuntimeError("daemon never published its port")
+    port = int(port_file.read_text().strip())
+    port_file.unlink()
+    return process, ServiceClient(f"http://127.0.0.1:{port}", timeout=30.0)
+
+
+def cold_solve_layout_doc(document):
+    """The layout the same job settles to when nothing interrupts it."""
+    job = LayoutJob(
+        flow="pilp", netlist=build_tiny_netlist(), tag=document["tag"]
+    )
+    return layout_to_dict(job.run().layout)
+
+
+@pytest.mark.slow
+class TestKillResume:
+    def test_sigkill_mid_solve_resumes_next_epoch_bit_identical(self, tmp_path):
+        document = pilp_document("kill-resume")
+        # Hold the worker asleep at the *third* checkpoint write: phase1
+        # and phase2 checkpoints land, then the solve stalls with phase3
+        # unfinished — the window where a crash must not lose the solve.
+        faults = env_payload(
+            [
+                FaultSpec(
+                    "checkpoint.write", action="sleep", seconds=120.0,
+                    after=2, times=1,
+                )
+            ]
+        )
+        process, client = spawn_daemon(
+            tmp_path, "first", extra_env={"REPRO_FAULTS": faults}
+        )
+        cache = ResultCache(tmp_path / "data" / "cache")
+        try:
+            response = client.submit_document(document)
+            key = response["key"]
+            # Wait until the phase2 checkpoint is durably on disk (the
+            # daemon is now asleep inside the phase3 checkpoint write).
+            assert wait_until(
+                lambda: cache.peek_checkpoint_stage(key) == "phase2",
+                timeout=60.0,
+            ), "phase2 checkpoint never appeared"
+        finally:
+            process.kill()  # SIGKILL: no drain, no cleanup, mid-solve death
+            process.wait(timeout=30)
+
+        process, client = spawn_daemon(tmp_path, "second")
+        try:
+            record = client.wait(key, timeout=120.0)
+            assert record["state"] == "done"
+            assert record["summary"]["resumed_from_phase"] == "phase2"
+
+            stats = client.stats()
+            assert stats["resumes"]["resumed"] >= 1
+            assert stats["resumes"]["checkpoint_writes"] >= 1
+
+            trace = client.trace(key)
+            worker = [s for s in trace["spans"] if s["name"] == "worker"]
+            assert worker and "resumed_from_phase=phase2" in worker[0]["detail"]
+
+            # The metrics endpoint carries the same counters.
+            metrics = client.metrics_text()
+            assert "rfic_solve_resumes_total 1" in metrics
+
+            # The resumed solve settled to exactly the cold-solve layout.
+            resumed_doc = client.layout_document(key)
+            assert normalized(resumed_doc) == normalized(
+                cold_solve_layout_doc(document)
+            )
+            # Settled means the partial state was cleared.
+            assert cache.peek_checkpoint_stage(key) is None
+        finally:
+            process.kill()
+            process.wait(timeout=30)
+
+
+@pytest.mark.slow
+class TestDrainResume:
+    def test_sigterm_drain_requeues_and_next_epoch_resumes(self, tmp_path):
+        document = pilp_document("drain-resume")
+        # Stall the *second* checkpoint write: phase1's checkpoint lands,
+        # then the worker sleeps — SIGTERM arrives with the job running.
+        faults = env_payload(
+            [
+                FaultSpec(
+                    "checkpoint.write", action="sleep", seconds=120.0,
+                    after=1, times=1,
+                )
+            ]
+        )
+        process, client = spawn_daemon(
+            tmp_path, "first", extra_env={"REPRO_FAULTS": faults},
+            drain_grace=1.0,
+        )
+        cache = ResultCache(tmp_path / "data" / "cache")
+        try:
+            response = client.submit_document(document)
+            key = response["key"]
+            assert wait_until(
+                lambda: cache.peek_checkpoint_stage(key) == "phase1",
+                timeout=60.0,
+            ), "phase1 checkpoint never appeared"
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+
+        # The drain requeued the running job; its phase1 checkpoint
+        # survived, so the next epoch resumes instead of starting cold.
+        process, client = spawn_daemon(tmp_path, "second")
+        try:
+            record = client.wait(key, timeout=120.0)
+            assert record["state"] == "done"
+            assert record["summary"]["resumed_from_phase"] == "phase1"
+            assert client.stats()["resumes"]["resumed"] >= 1
+        finally:
+            process.kill()
+            process.wait(timeout=30)
+
+
+class TestCorruptEntryNeverServed:
+    def test_flipped_byte_requeues_and_resolves_clean(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        scheduler.start()
+        try:
+            document = tiny_document("bitrot")
+            record, disposition = scheduler.submit(document)
+            assert disposition == "queued"
+            assert wait_until(lambda: scheduler.queue.get(record.key).terminal)
+            assert scheduler.queue.get(record.key).state == "done"
+
+            # Bit rot strikes the settled entry.
+            layout = scheduler.cache.entry_dir(record.key) / "layout.json"
+            data = bytearray(layout.read_bytes())
+            data[10] ^= 0xFF
+            layout.write_bytes(bytes(data))
+
+            # Resubmission must NOT serve the corrupt bytes: the entry is
+            # quarantined and the job goes back through the queue.
+            record2, disposition2 = scheduler.submit(document)
+            assert disposition2 == "requeued"
+            assert scheduler.cache.quarantine_count() == 1
+            assert wait_until(lambda: scheduler.queue.get(record2.key).terminal)
+            fresh = scheduler.queue.get(record2.key)
+            assert fresh.state == "done"
+            assert fresh.summary["served"] == "solve"  # re-solved, not served
+
+            # The repaired entry reads back clean now.
+            assert scheduler.cache.peek_key(record.key) is not None
+            assert scheduler.stats()["cache"]["quarantined"] == 1
+            report = scheduler.cache.verify()
+            assert report["clean"] is True
+        finally:
+            scheduler.stop()
+
+
+class TestScrubCli:
+    def test_scrub_exits_nonzero_dirty_then_zero_after_repair(self, tmp_path):
+        job = LayoutJob(flow="manual", netlist=build_tiny_netlist(), tag="cli")
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.put(job, job.run()) is not None
+        layout = cache.entry_dir(job.content_hash) / "layout.json"
+        data = bytearray(layout.read_bytes())
+        data[10] ^= 0xFF
+        layout.write_bytes(bytes(data))
+
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = REPO_SRC + (os.pathsep + existing if existing else "")
+        env.pop("REPRO_FAULTS", None)
+        argv = [
+            sys.executable, "-m", "repro.cli", "cache", "scrub",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        first = subprocess.run(argv, env=env, capture_output=True, text=True)
+        assert first.returncode == 1, first.stdout + first.stderr
+        assert "DIRTY" in first.stdout
+        second = subprocess.run(argv, env=env, capture_output=True, text=True)
+        assert second.returncode == 0, second.stdout + second.stderr
+        assert "clean" in second.stdout

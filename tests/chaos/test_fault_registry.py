@@ -1,0 +1,67 @@
+"""The fault-point registry must match the instrumented code, both ways.
+
+:mod:`repro.faults` documents every instrumented fault point in its
+module docstring's registry table.  That table is the canonical list a
+chaos author reads before arming a plan — a point missing from it is
+undiscoverable, and a documented point that no code consults silently
+turns a chaos test into a no-op.  This test greps the source tree for
+``FAULTS.act(...)`` / ``FAULTS.hit(...)`` call sites and diffs the two
+sets in both directions.
+"""
+
+import re
+from pathlib import Path
+
+import repro.faults
+
+SRC_ROOT = Path(repro.faults.__file__).resolve().parent
+
+#: ``FAULTS.act("point")`` / ``FAULTS.hit("point")`` with a literal name.
+_CALL_SITE = re.compile(r"FAULTS\.(?:act|hit)\(\s*[\"']([a-z._]+)[\"']")
+
+#: Registry rows: a backticked point name at the start of a table line.
+_REGISTRY_ROW = re.compile(r"^``([a-z._]+)``", re.MULTILINE)
+
+
+def documented_points() -> set:
+    doc = repro.faults.__doc__
+    registry = doc.split("Instrumented points", 1)[1]
+    return set(_REGISTRY_ROW.findall(registry))
+
+
+def instrumented_points() -> set:
+    points = set()
+    for path in SRC_ROOT.rglob("*.py"):
+        if path.name == "faults.py":
+            continue  # the injector itself, not an instrumented site
+        points.update(_CALL_SITE.findall(path.read_text(encoding="utf-8")))
+    return points
+
+
+class TestRegistryConsistency:
+    def test_every_instrumented_point_is_documented(self):
+        undocumented = instrumented_points() - documented_points()
+        assert not undocumented, (
+            f"fault points instrumented in src/ but missing from the "
+            f"repro.faults docstring registry table: {sorted(undocumented)}"
+        )
+
+    def test_every_documented_point_is_instrumented(self):
+        dead = documented_points() - instrumented_points()
+        assert not dead, (
+            f"fault points documented in the repro.faults registry table "
+            f"but consulted nowhere in src/: {sorted(dead)}"
+        )
+
+    def test_registry_is_nonempty_and_has_the_core_points(self):
+        documented = documented_points()
+        for expected in (
+            "journal.append",
+            "cache.put.staging",
+            "worker.run",
+            "checkpoint.write",
+            "checkpoint.read.corrupt",
+            "cache.read.corrupt",
+            "cache.scrub",
+        ):
+            assert expected in documented

@@ -192,7 +192,7 @@ def patched_job_run(monkeypatch, pilp_small_result, manual_small_result):
 
     calls = {"count": 0}
 
-    def fake_run(self):
+    def fake_run(self, checkpoint=None):
         calls["count"] += 1
         return pilp_small_result if self.flow == "pilp" else manual_small_result
 
@@ -242,7 +242,7 @@ class TestTable1ThroughRunner:
         from repro.runner import jobs as jobs_module
         from repro.runner import BatchRunner
 
-        def broken_run(self):
+        def broken_run(self, checkpoint=None):
             raise RuntimeError("solver exploded")
 
         monkeypatch.setattr(jobs_module.LayoutJob, "run", broken_run)

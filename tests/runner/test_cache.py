@@ -95,6 +95,10 @@ class TestAppendOnly:
         orphan.mkdir(parents=True)
         (orphan / "layout.json").write_text("{}", encoding="utf-8")
         ancient = 1_000_000.0
+        # Age the contents too: the sweep treats the newest mtime anywhere
+        # in the dir as the writer's heartbeat, so a dir counts as orphaned
+        # only when *everything* in it has gone quiet.
+        os.utime(orphan / "layout.json", (ancient, ancient))
         os.utime(orphan, (ancient, ancient))
         fresh = tmp_path / "tmp" / "cafebabe-456-alive"
         fresh.mkdir(parents=True)

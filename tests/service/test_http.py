@@ -202,3 +202,30 @@ class TestRemoteRunner:
         assert not outcome.ok
         assert outcome.error == "too slow"
         assert outcome.runtime == 1.5
+
+
+class TestCacheIntegrityEndpoint:
+    def test_clean_cache_reports_200_clean(self, service, client):
+        response = client.submit_job(tiny_job("integ"))
+        client.wait(response["key"], timeout=60.0)
+        report = client._json("/cache/integrity")
+        assert report["clean"] is True
+        assert report["repair"] is False  # the endpoint is read-only
+        assert report["entries_scanned"] >= 1
+        assert report["entries_corrupt"] == 0
+
+    def test_corrupt_entry_reports_503_with_the_key(self, service, client):
+        response = client.submit_job(tiny_job("integ-dirty"))
+        key = response["key"]
+        client.wait(key, timeout=60.0)
+        layout = service.scheduler.cache.entry_dir(key) / "layout.json"
+        data = bytearray(layout.read_bytes())
+        data[10] ^= 0xFF
+        layout.write_bytes(bytes(data))
+        with pytest.raises(ServiceError, match="503"):
+            client._json("/cache/integrity")
+        # Read-only: the corrupt entry is still in place, not quarantined.
+        assert layout.exists()
+        # A subsequent fetch of the layout never serves the corrupt bytes.
+        with pytest.raises(ServiceError):
+            client.layout_document(key)

@@ -84,9 +84,9 @@ def test_runner_cache_short_circuits_execution(tmp_path):
     calls = {"count": 0}
     original_run = LayoutJob.run
     try:
-        def counting_run(self):
+        def counting_run(self, checkpoint=None):
             calls["count"] += 1
-            return original_run(self)
+            return original_run(self, checkpoint=checkpoint)
 
         LayoutJob.run = counting_run
         warm = BatchRunner(cache_dir=tmp_path, workers=0)
